@@ -1,0 +1,30 @@
+"""E1 — "To eliminate system slowdown, asynchronous data copy is
+prevalent" (§I, §III-A1).
+
+Regenerates the latency/throughput comparison the paper's motivation
+rests on: order-transaction latency for no-backup vs synchronous copy vs
+asynchronous copy, swept over the inter-site round-trip time.
+
+Expected shape (paper): ADC latency is flat in RTT and close to the
+no-backup floor; SDC latency grows with RTT and its throughput collapses
+— the "system slowdown" ADC removes.
+"""
+
+from repro.bench import run_e1_slowdown
+
+
+def test_e1_slowdown(experiment):
+    table, facts = experiment(
+        run_e1_slowdown,
+        rtt_ms_values=(1.0, 5.0, 10.0, 25.0),
+        duration=1.0, clients=4)
+    # ADC stays within a modest envelope of the no-backup floor ...
+    assert facts["adc_overhead_vs_none"] < 1.25, (
+        "ADC is supposed to eliminate slowdown; overhead vs no-backup "
+        f"was {facts['adc_overhead_vs_none']:.2f}x")
+    # ... and is flat in RTT (the ack never crosses the link)
+    assert facts["adc_p50_growth_over_rtt"] < 1.1
+    # SDC pays the link on every write: grows with RTT ...
+    assert facts["sdc_p50_growth_over_rtt"] > 3.0
+    # ... and loses to ADC by a large factor at WAN distance
+    assert facts["sdc_over_adc_at_max_rtt"] > 5.0

@@ -1,0 +1,27 @@
+"""E3 — "The automation of the operator removes the laborious tasks to
+identify the related data volumes and to configure the ADC" (§II,
+§III-B1, Figs 3-4).
+
+Regenerates the automation comparison: user-visible operations and
+configuration latency for the namespace operator (one tag) vs the manual
+per-volume storage-administration procedure, swept over the number of
+volumes in the namespace.
+
+Expected shape (paper): the operator path is a single operation
+regardless of namespace size; the manual path grows linearly with the
+volume count.
+"""
+
+from repro.bench import run_e3_operator
+
+
+def test_e3_operator(experiment):
+    table, facts = experiment(
+        run_e3_operator, volume_counts=(2, 4, 8, 16))
+    assert all(ops == 1 for ops in facts["nso_ops"]), (
+        "the operator path must stay at exactly one user operation "
+        "(the tag)")
+    manual = facts["manual_ops"]
+    assert manual[-1] > manual[0], "manual effort must grow with volumes"
+    # linear growth: ~2 array commands per additional volume
+    assert manual[-1] >= manual[0] + 2 * (16 - 2)

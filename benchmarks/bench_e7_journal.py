@@ -1,0 +1,22 @@
+"""E7 — ablation of the journal transfer interval (§III-A1).
+
+The ADC's background pipeline has one first-order knob: how often the
+journal is shipped to the backup site.  This ablation regenerates the
+trade-off curve: foreground order throughput (should not care — the ack
+path never waits on the transfer) vs data lost at a disaster (grows with
+the interval: everything still journaled at the main site dies with it)
+vs peak journal occupancy (capacity planning).
+"""
+
+from repro.bench import run_e7_journal
+
+
+def test_e7_journal(experiment):
+    table, facts = experiment(
+        run_e7_journal, intervals_ms=(1.0, 5.0, 20.0, 50.0),
+        seeds=(700, 701, 702), load_time=0.3)
+    # the foreground never waits on the transfer: throughput is flat
+    assert facts["throughput_spread"] < 1.1
+    # data loss at disaster grows with the transfer interval
+    assert facts["loss_grows"]
+    assert facts["mean_losses"][-1] >= facts["mean_losses"][0]

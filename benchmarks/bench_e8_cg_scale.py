@@ -1,0 +1,28 @@
+"""E8 — ablation of consistency-group size (§III-A1).
+
+"The external storage system also provides a consistency group function,
+which shares the journal volume with multiple volumes."  This ablation
+regenerates the cost curve of that sharing: host-write latency, restore
+lag and catch-up time as one journal serves 2 → 16 volumes, against the
+same volumes on independent journals.
+
+Expected shape: the *ack path* is unaffected by group size (journal
+appends are cheap and per-volume), which is why consistency groups are
+free for the business; the *restore pipeline* serialises the group, so
+backup-side lag grows with group size — the price of one global order.
+"""
+
+from repro.bench import run_e8_cg_scale
+
+
+def test_e8_cg_scale(experiment):
+    table, facts = experiment(
+        run_e8_cg_scale, volume_counts=(2, 4, 8, 16), duration=0.5)
+    cg_p99 = facts["cg_p99"]
+    independent_p99 = facts["independent_p99"]
+    # the ack path does not degrade as the group grows
+    assert max(cg_p99) <= 2.0 * min(cg_p99)
+    # and matches the independent layout (consistency is free up front)
+    assert max(cg_p99) <= 2.0 * max(independent_p99)
+    # parallel restore closes the serial pipeline's lag gap at scale
+    assert facts["cg_parallel_lag"][-1] <= facts["cg_serial_lag"][-1]

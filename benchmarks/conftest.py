@@ -1,0 +1,37 @@
+"""Benchmark harness configuration.
+
+Every benchmark runs one experiment end to end (fresh simulators inside),
+prints the result table the paper's narrative predicts, and asserts the
+*shape* facts — who wins, by roughly what factor, where behaviour flips.
+Absolute numbers are simulator-dependent and not asserted.
+"""
+
+import pytest
+
+
+def record_experiment(benchmark, runner, **kwargs):
+    """Run one experiment under pytest-benchmark and print its table.
+
+    The experiment is deterministic, so a single round is measured; the
+    benchmark's value is the wall-clock cost of regenerating the table.
+    """
+    result = {}
+
+    def once():
+        table, facts = runner(**kwargs)
+        result["table"] = table
+        result["facts"] = facts
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    print()
+    print(result["table"].render())
+    return result["table"], result["facts"]
+
+
+@pytest.fixture()
+def experiment(benchmark):
+    """Fixture: ``experiment(runner, **kwargs) -> (table, facts)``."""
+    def runner_fixture(runner, **kwargs):
+        return record_experiment(benchmark, runner, **kwargs)
+
+    return runner_fixture

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Disaster recovery with and without consistency groups (§I).
+
+The paper's central warning: asynchronous data copy applied naively to a
+multi-resource business process "can collapse backup data".  This
+example makes the collapse visible: the same business, the same order
+load, the same disaster instants — once protected with independent
+per-volume journals, once with one consistency group.
+
+Run:  python examples/disaster_recovery.py
+"""
+
+from repro.apps import BackgroundLoad
+from repro.errors import CollapsedBackupError
+from repro.operator import (TAG_CONSISTENT, TAG_INDEPENDENT, TAG_KEY,
+                            install_namespace_operator)
+from repro.recovery import fail_and_recover
+from repro.scenarios import (BusinessConfig, SystemConfig,
+                             build_system, deploy_business_process)
+from repro.simulation import Simulator
+from repro.storage import AdcConfig, ArrayConfig
+
+
+def one_disaster(seed: int, tag: str) -> str:
+    """Run load, kill the main site, attempt recovery; describe the outcome."""
+    sim = Simulator(seed=seed)
+    config = SystemConfig(
+        link_latency=0.0025,
+        array=ArrayConfig(adc=AdcConfig(
+            transfer_interval=0.004, interval_jitter=0.6,
+            restore_interval=0.001)),
+        command_latency=0.010)
+    system = build_system(sim, config)
+    install_namespace_operator(system.main.cluster)
+    business = deploy_business_process(
+        system, BusinessConfig(wal_blocks=20_000))
+    system.main.console.tag_namespace(business.namespace, TAG_KEY, tag)
+    sim.run(until=sim.now + 4.0)
+    load = BackgroundLoad(sim, business.app, client_count=6)
+    sim.run(until=sim.now + 0.35)
+    committed = load.committed_gtids
+    try:
+        promoted = fail_and_recover(system, business,
+                                    expected_committed=committed)
+    except CollapsedBackupError as exc:
+        return f"COLLAPSED  ({exc})"
+    report = promoted.report
+    return (f"recovered  lost {report.lost_committed_orders} of "
+            f"{len(committed)} committed orders, "
+            f"RTO {report.rto_seconds * 1e3:.0f} ms")
+
+
+def main() -> None:
+    seeds = range(70, 76)
+    print("=== ADC with independent per-volume journals (no consistency "
+          "group) ===")
+    for seed in seeds:
+        print(f"disaster #{seed}: "
+              f"{one_disaster(seed, TAG_INDEPENDENT)}")
+    print()
+    print("=== ADC inside one consistency group (the paper's system) ===")
+    for seed in seeds:
+        print(f"disaster #{seed}: "
+              f"{one_disaster(seed, TAG_CONSISTENT)}")
+    print()
+    print("The consistency group turns 'sometimes unrecoverable' into "
+          "'always recoverable with bounded, explainable loss'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a business process with one tag, survive a
+disaster.
+
+This walks the library's core loop in ~60 lines:
+
+1. build the two-site system of the paper's Fig 1 (simulated storage
+   arrays + container platforms + replication network);
+2. deploy the e-commerce business process (two databases on four
+   volumes) and the namespace operator;
+3. protect it the paper's way — tag the namespace
+   ``ConsistentCopyToCloud`` and let the operator configure the
+   asynchronous data copy inside a consistency group;
+4. process orders, kill the main site, fail over, and keep serving.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import issue_orders
+from repro.operator import (TAG_CONSISTENT, TAG_KEY,
+                            install_namespace_operator)
+from repro.recovery import fail_and_recover
+from repro.scenarios import BusinessConfig, build_system, \
+    deploy_business_process
+from repro.simulation import Simulator
+
+
+def main() -> None:
+    sim = Simulator(seed=7)
+    system = build_system(sim)
+    install_namespace_operator(system.main.cluster)
+
+    print("deploying the business process (sales + stock databases) ...")
+    business = deploy_business_process(
+        system, BusinessConfig(wal_blocks=20_000))
+
+    print("protecting it: one tag on the namespace ...")
+    system.main.console.tag_namespace(
+        business.namespace, TAG_KEY, TAG_CONSISTENT)
+    sim.run(until=sim.now + 5.0)  # the operator + plugins do the rest
+
+    pvs = system.backup.console.list_persistent_volumes()
+    print(f"backup site now has {len(pvs)} mirrored persistent volumes")
+
+    print("processing 50 orders ...")
+    results = issue_orders(sim, business.app, 50)
+    print(f"  committed: {sum(1 for r in results if r.accepted)}")
+    mean_ms = sum(r.latency for r in results) / len(results) * 1e3
+    print(f"  mean order latency: {mean_ms:.2f} ms "
+          "(the ack never crosses the inter-site link)")
+
+    print("disaster: failing the main site ...")
+    promoted = fail_and_recover(system, business)
+    report = promoted.report
+    print(f"  recovered at backup in {report.rto_seconds * 1e3:.1f} ms "
+          f"(simulated)")
+    print(f"  committed orders lost: {report.lost_committed_orders} "
+          "(bounded by the journal lag)")
+    print(f"  backup image: {report.business_report}")
+
+    print("serving from the backup site ...")
+    more = issue_orders(sim, promoted.app, 10, rng_stream="after")
+    print(f"  committed {sum(1 for r in more if r.accepted)} new orders "
+          "-- business processing never needed the main site back")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Replication modes and business latency (§I, §V).
+
+The paper's motivating comparison: synchronous data copy protects
+everything but makes every transaction pay the inter-site round trip;
+asynchronous data copy decouples the ack from the network.  This example
+prints the latency table for the same order workload under no backup,
+SDC, and ADC + consistency group, at two inter-site distances.
+
+Run:  python examples/replication_modes.py
+"""
+
+from repro.apps import WorkloadConfig, run_order_workload
+from repro.bench import (MODE_ADC_CG, MODE_NONE, MODE_SDC,
+                         build_business_system)
+
+
+def measure(mode: str, rtt_ms: float, seed: int = 11):
+    experiment = build_business_system(
+        seed=seed, mode=mode, link_latency=rtt_ms / 2 / 1e3)
+    result = run_order_workload(
+        experiment.sim, experiment.business.app,
+        WorkloadConfig(client_count=4, duration=1.0))
+    summary = result.latency_summary().as_millis()
+    return result.throughput, summary.p50, summary.p99
+
+
+def main() -> None:
+    print(f"{'mode':10} {'RTT(ms)':>8} {'orders/s':>10} "
+          f"{'p50(ms)':>9} {'p99(ms)':>9}")
+    for rtt_ms in (2.0, 20.0):
+        for mode in (MODE_NONE, MODE_SDC, MODE_ADC_CG):
+            throughput, p50, p99 = measure(mode, rtt_ms)
+            print(f"{mode:10} {rtt_ms:8.1f} {throughput:10.1f} "
+                  f"{p50:9.2f} {p99:9.2f}")
+        print()
+    print("ADC tracks the no-backup floor at any distance; SDC degrades "
+          "with every millisecond of RTT - the 'system slowdown' the "
+          "paper eliminates.")
+
+
+if __name__ == "__main__":
+    main()

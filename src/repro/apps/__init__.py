@@ -1,0 +1,33 @@
+"""Application layer: MiniDB, the e-commerce business process, the order
+workload generator, and the analytics application."""
+
+from repro.apps.analytics import (AnalyticsReport, DatabaseImage,
+                                  build_report, recover_business_images,
+                                  run_analytics)
+from repro.apps.ecommerce import (SALES, STOCK, BusinessState, CatalogItem,
+                                  EcommerceApp, OrderResult,
+                                  decode_business_state, default_catalog)
+from repro.apps.workload import (BackgroundLoad, WorkloadConfig,
+                                 WorkloadResult, issue_orders,
+                                 run_order_workload)
+
+__all__ = [
+    "AnalyticsReport",
+    "BackgroundLoad",
+    "BusinessState",
+    "CatalogItem",
+    "DatabaseImage",
+    "EcommerceApp",
+    "OrderResult",
+    "SALES",
+    "STOCK",
+    "WorkloadConfig",
+    "WorkloadResult",
+    "build_report",
+    "decode_business_state",
+    "default_catalog",
+    "issue_orders",
+    "recover_business_images",
+    "run_analytics",
+    "run_order_workload",
+]

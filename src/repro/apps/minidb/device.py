@@ -1,0 +1,129 @@
+"""Block devices: how MiniDB reaches its storage.
+
+MiniDB performs all durable I/O through a :class:`BlockDevice`, which has
+three implementations:
+
+* :class:`ArrayBlockDevice` — the production path: host reads/writes
+  through a :class:`~repro.storage.array.StorageArray`, so every commit
+  lands in the array's ack history and rides the replication pipeline;
+* :class:`ViewBlockDevice` — recovery/analytics path: direct access to a
+  :class:`~repro.storage.volume.Volume` or
+  :class:`~repro.storage.volume.SnapshotView` (used when mounting
+  promoted secondaries or snapshot images at the backup site);
+* :class:`MemoryBlockDevice` — in-memory device for unit-testing the
+  database engine without a storage array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.errors import VolumeError
+from repro.storage.array import StorageArray
+
+
+class BlockDevice:
+    """Minimal block interface MiniDB runs on."""
+
+    #: blocks available on the device
+    capacity_blocks: int = 0
+
+    def read_block(self, block: int,
+                   ) -> Generator[object, object, Optional[bytes]]:
+        """Read one block; None when unallocated (process generator)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def write_block(self, block: int, payload: bytes, tag: Optional[str] = None,
+                    ) -> Generator[object, object, None]:
+        """Durably write one block (process generator)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class ArrayBlockDevice(BlockDevice):
+    """Host I/O through a storage array (the replicated data path)."""
+
+    def __init__(self, array: StorageArray, volume_id: int) -> None:
+        self.array = array
+        self.sim = array.sim
+        self.volume_id = volume_id
+        self.capacity_blocks = array.get_volume(volume_id).capacity_blocks
+
+    def read_block(self, block: int,
+                   ) -> Generator[object, object, Optional[bytes]]:
+        payload = yield from self.array.host_read(self.volume_id, block)
+        return payload
+
+    def write_block(self, block: int, payload: bytes,
+                    tag: Optional[str] = None,
+                    ) -> Generator[object, object, None]:
+        yield from self.array.host_write(self.volume_id, block, payload,
+                                         tag=tag)
+
+    def __repr__(self) -> str:
+        return (f"<ArrayBlockDevice {self.array.serial}:"
+                f"{self.volume_id}>")
+
+
+class ViewBlockDevice(BlockDevice):
+    """Direct access to a volume or snapshot view (no host path).
+
+    Used for mounting backup images: the volume objects of a promoted
+    secondary, or a snapshot view, without the array's host-write role
+    checks (the recovery tooling owns the image).
+    """
+
+    def __init__(self, view) -> None:
+        # ``view`` is any object with read_block/write_block generators
+        # and capacity_blocks (Volume and SnapshotView both qualify).
+        self.view = view
+        self.sim = getattr(view, "sim", None)
+        self.capacity_blocks = view.capacity_blocks
+
+    def read_block(self, block: int,
+                   ) -> Generator[object, object, Optional[bytes]]:
+        payload = yield from self.view.read_block(block)
+        return payload
+
+    def write_block(self, block: int, payload: bytes,
+                    tag: Optional[str] = None,
+                    ) -> Generator[object, object, None]:
+        yield from self.view.write_block(block, payload)
+
+    def __repr__(self) -> str:
+        return f"<ViewBlockDevice over {self.view!r}>"
+
+
+class MemoryBlockDevice(BlockDevice):
+    """In-memory device for engine unit tests (zero latency)."""
+
+    def __init__(self, capacity_blocks: int = 4096) -> None:
+        if capacity_blocks < 1:
+            raise VolumeError("capacity_blocks must be >= 1")
+        self.capacity_blocks = capacity_blocks
+        self.sim = None
+        self._blocks: Dict[int, bytes] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read_block(self, block: int,
+                   ) -> Generator[object, object, Optional[bytes]]:
+        self._check(block)
+        self.reads += 1
+        return self._blocks.get(block)
+        yield  # pragma: no cover - generator marker
+
+    def write_block(self, block: int, payload: bytes,
+                    tag: Optional[str] = None,
+                    ) -> Generator[object, object, None]:
+        self._check(block)
+        self.writes += 1
+        self._blocks[block] = bytes(payload)
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _check(self, block: int) -> None:
+        if not 0 <= block < self.capacity_blocks:
+            raise VolumeError(
+                f"block {block} out of range [0, {self.capacity_blocks})")

@@ -1,0 +1,40 @@
+"""Experiment harness shared by ``benchmarks/`` and EXPERIMENTS.md.
+
+One runner per experiment (see DESIGN.md §4): ``run_e1_slowdown`` …
+``run_e8_cg_scale`` and ``run_d0_demo``, plus the :class:`Table`
+renderer and the per-mode system setups.
+"""
+
+from repro.bench.experiments import (run_d0_demo, run_e1_slowdown,
+                                     run_e2_collapse, run_e3_operator,
+                                     run_e4_snapshot, run_e5_analytics,
+                                     run_e6_downtime, run_e7_journal,
+                                     run_e8_cg_scale)
+from repro.bench.setups import (ALL_MODES, MODE_ADC_CG, MODE_ADC_NOCG,
+                                MODE_NONE, MODE_SDC, ExperimentSystem,
+                                build_business_system,
+                                configure_sdc_protection,
+                                experiment_config)
+from repro.bench.tables import Table
+
+__all__ = [
+    "ALL_MODES",
+    "ExperimentSystem",
+    "MODE_ADC_CG",
+    "MODE_ADC_NOCG",
+    "MODE_NONE",
+    "MODE_SDC",
+    "Table",
+    "build_business_system",
+    "configure_sdc_protection",
+    "experiment_config",
+    "run_d0_demo",
+    "run_e1_slowdown",
+    "run_e2_collapse",
+    "run_e3_operator",
+    "run_e4_snapshot",
+    "run_e5_analytics",
+    "run_e6_downtime",
+    "run_e7_journal",
+    "run_e8_cg_scale",
+]

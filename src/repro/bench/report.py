@@ -1,0 +1,51 @@
+"""EXPERIMENTS.md table generation.
+
+``python -m repro.bench.report`` runs every experiment at the benchmark
+parameters and prints the markdown tables EXPERIMENTS.md embeds, so the
+recorded results can be regenerated with one command.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.experiments import (run_d0_demo, run_e1_slowdown,
+                                     run_e2_collapse, run_e3_operator,
+                                     run_e4_snapshot, run_e5_analytics,
+                                     run_e6_downtime, run_e7_journal,
+                                     run_e8_cg_scale)
+
+RUNNERS = (
+    ("E1", run_e1_slowdown, dict(rtt_ms_values=(1.0, 5.0, 10.0, 25.0),
+                                 duration=1.0, clients=4)),
+    ("E2", run_e2_collapse, dict(seeds=tuple(range(1000, 1012)),
+                                 load_time=0.35, clients=6)),
+    ("E3", run_e3_operator, dict(volume_counts=(2, 4, 8, 16))),
+    ("E4", run_e4_snapshot, dict(seeds=tuple(range(400, 408)),
+                                 load_time=0.25)),
+    ("E5", run_e5_analytics, dict(window=1.0, repeats=3)),
+    ("E6", run_e6_downtime, dict(seeds=tuple(range(1000, 1006)),
+                                 load_time=0.3)),
+    ("E7", run_e7_journal, dict(intervals_ms=(1.0, 5.0, 20.0, 50.0),
+                                seeds=(700, 701, 702), load_time=0.3)),
+    ("E8", run_e8_cg_scale, dict(volume_counts=(2, 4, 8, 16),
+                                 duration=0.5)),
+    ("D0", run_d0_demo, dict(seed=2025)),
+)
+
+
+def main(markdown: bool = True) -> None:
+    """Run every experiment and print its table."""
+    for name, runner, kwargs in RUNNERS:
+        started = time.time()
+        table, _facts = runner(**kwargs)
+        wall = time.time() - started
+        print(f"<!-- {name}: regenerated in {wall:.1f}s wall -->"
+              if markdown else f"[{name}] {wall:.1f}s")
+        print(table.render_markdown() if markdown else table.render())
+        print()
+
+
+if __name__ == "__main__":
+    main(markdown="--text" not in sys.argv)

@@ -1,0 +1,111 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``     — run the scripted three-step demonstration (Figs 2-6)
+  and print its summary (optionally the console logs);
+* ``collapse`` — sweep disaster instants and show recoverability with
+  vs without consistency groups (the §I claim);
+* ``modes``    — print the no-backup / SDC / ADC latency table (E1's
+  shape) for one RTT;
+* ``report``   — regenerate every EXPERIMENTS.md table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.scenarios import run_demo
+    environment = run_demo(seed=args.seed)
+    result = environment.result
+    if args.screens:
+        print("--- main-site console ---")
+        print(result.screens["main"])
+        print("--- backup-site console ---")
+        print(result.screens["backup"])
+        print()
+    print(result.summary())
+    return 0
+
+
+def _cmd_collapse(args: argparse.Namespace) -> int:
+    from repro.bench import run_e2_collapse
+    table, facts = run_e2_collapse(
+        seeds=tuple(range(args.seed, args.seed + args.disasters)),
+        load_time=0.35)
+    print(table.render())
+    return 0
+
+
+def _cmd_modes(args: argparse.Namespace) -> int:
+    from repro.apps import WorkloadConfig, run_order_workload
+    from repro.bench import (MODE_ADC_CG, MODE_NONE, MODE_SDC,
+                             build_business_system)
+    print(f"{'mode':10} {'orders/s':>10} {'p50(ms)':>9} {'p99(ms)':>9}")
+    for mode in (MODE_NONE, MODE_SDC, MODE_ADC_CG):
+        experiment = build_business_system(
+            seed=args.seed, mode=mode,
+            link_latency=args.rtt_ms / 2 / 1e3)
+        result = run_order_workload(
+            experiment.sim, experiment.business.app,
+            WorkloadConfig(client_count=4, duration=1.0))
+        summary = result.latency_summary().as_millis()
+        print(f"{mode:10} {result.throughput:10.1f} "
+              f"{summary.p50:9.2f} {summary.p99:9.2f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import main as report_main
+    report_main(markdown=not args.text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Data Backup System with No Impact "
+                     "on Business Processing' (ICDE 2025) on simulated "
+                     "substrates"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the Figs 2-6 demonstration")
+    demo.add_argument("--seed", type=int, default=2025)
+    demo.add_argument("--screens", action="store_true",
+                      help="also print both console operation logs")
+    demo.set_defaults(func=_cmd_demo)
+
+    collapse = sub.add_parser(
+        "collapse", help="ADC with vs without consistency groups")
+    collapse.add_argument("--seed", type=int, default=1000)
+    collapse.add_argument("--disasters", type=int, default=6)
+    collapse.set_defaults(func=_cmd_collapse)
+
+    modes = sub.add_parser(
+        "modes", help="latency per replication mode at one RTT")
+    modes.add_argument("--seed", type=int, default=11)
+    modes.add_argument("--rtt-ms", type=float, default=10.0)
+    modes.set_defaults(func=_cmd_modes)
+
+    report = sub.add_parser(
+        "report", help="regenerate every EXPERIMENTS.md table")
+    report.add_argument("--text", action="store_true",
+                        help="plain text instead of markdown")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

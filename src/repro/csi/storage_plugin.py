@@ -1,0 +1,325 @@
+"""The Storage Plug-in for Containers (§III-B2): provisioning and
+snapshots through CSI.
+
+Three reconcilers:
+
+* :class:`ProvisionerReconciler` — binds Pending PVCs, preferring a
+  pre-created Available PV (how replicated secondaries surface at the
+  backup site) and dynamically provisioning through the CSI driver
+  otherwise;
+* :class:`SnapshotReconciler` — turns ``VolumeSnapshot`` objects into
+  array snapshots via the driver (the Fig 5 "snapshot development on the
+  web console" path);
+* :class:`GroupSnapshotReconciler` — the *forward-looking* controller
+  for the alpha ``VolumeGroupSnapshot`` API.  The paper's system does
+  not have this (users operate the array directly); install it only to
+  demonstrate the future state (§II's "will be removed by the technical
+  advancements in the CSI and the storage plugin").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Generator, List, Type
+
+from repro.errors import CsiError, NotFoundError
+from repro.csi.driver import HspcDriver
+from repro.platform.apiserver import ApiServer, WatchEvent
+from repro.platform.controller import Reconciler, ReconcileResult, Requeue
+from repro.platform.objects import ObjectKey
+from repro.platform.resources import (PersistentVolume,
+                                      PersistentVolumeClaim, StorageClass,
+                                      VolumeGroupSnapshot, VolumeSnapshot,
+                                      claim_ref)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platform.cluster import Cluster
+
+
+#: finalizer protecting claims until their storage is reclaimed
+PVC_PROTECTION_FINALIZER = "csi.hitachi.com/pvc-protection"
+
+#: finalizer protecting snapshots until the array snapshot is deleted
+SNAPSHOT_PROTECTION_FINALIZER = "csi.hitachi.com/snapshot-protection"
+
+
+class ProvisionerReconciler(Reconciler):
+    """Binds, dynamically provisions, and reclaims persistent volume
+    claims (reclaim policy: Delete)."""
+
+    kind: ClassVar[Type[PersistentVolumeClaim]] = PersistentVolumeClaim
+    extra_kinds = (PersistentVolume,)
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+
+    def reconcile(self, api: ApiServer, key: ObjectKey,
+                  ) -> Generator[object, object, ReconcileResult]:
+        pvc = api.try_get(PersistentVolumeClaim, key.name, key.namespace)
+        if pvc is None:
+            return None
+        if pvc.meta.deleting:
+            result = yield from self._reclaim(api, pvc)
+            return result
+        if pvc.bound:
+            return None
+        storage_class = api.try_get(StorageClass, pvc.spec.storage_class)
+        if storage_class is None:
+            return Requeue(after=0.100)
+        if not self.cluster.has_csi_driver(storage_class.provisioner):
+            return None  # another plugin's class; not ours to act on
+        if PVC_PROTECTION_FINALIZER not in pvc.meta.finalizers:
+            pvc.meta.finalizers.append(PVC_PROTECTION_FINALIZER)
+            pvc = api.update(pvc)
+        ref = claim_ref(key.namespace, key.name)
+        pv = self._find_bindable_pv(api, pvc, ref)
+        if pv is None:
+            driver = self.cluster.csi_driver(storage_class.provisioner)
+            provisioned = yield from driver.create_volume(
+                name=f"pvc-{pvc.meta.uid}",
+                capacity_blocks=pvc.spec.capacity_blocks,
+                parameters=storage_class.parameters)
+            pv = PersistentVolume()
+            pv.meta.name = f"pv-{pvc.meta.uid}"
+            pv.spec.capacity_blocks = provisioned.capacity_blocks
+            pv.spec.storage_class = storage_class.meta.name
+            pv.spec.csi.driver = driver.driver_name
+            pv.spec.csi.volume_handle = provisioned.volume_handle
+            pv.spec.csi.array_serial = provisioned.array_serial
+            pv.spec.claim_ref = ref
+            pv = api.create(pv)
+        self._bind(api, pvc, pv, ref)
+        return None
+
+    def _reclaim(self, api: ApiServer, pvc: PersistentVolumeClaim,
+                 ) -> Generator[object, object, ReconcileResult]:
+        """Delete-reclaim: release the PV and the array volume, then
+        let the claim finish deleting.
+
+        A volume still paired for replication (or still carrying
+        snapshots) cannot be deleted yet — the replication plugin's own
+        teardown must run first, so the reclaim retries.
+        """
+        if PVC_PROTECTION_FINALIZER not in pvc.meta.finalizers:
+            return None
+        pv = None
+        if pvc.spec.volume_name:
+            pv = api.try_get(PersistentVolume, pvc.spec.volume_name)
+        if pv is not None:
+            if not self.cluster.has_csi_driver(pv.spec.csi.driver):
+                return Requeue(after=0.250)
+            driver = self.cluster.csi_driver(pv.spec.csi.driver)
+            from repro.errors import ArrayCommandError
+            try:
+                yield from driver.delete_volume(pv.spec.csi.volume_handle)
+            except ArrayCommandError:
+                # still replicated / still has snapshots: retry after
+                # the owning controllers unwind their configuration
+                return Requeue(after=0.100)
+            api.delete(PersistentVolume, pv.meta.name)
+        api.remove_finalizer(PersistentVolumeClaim, pvc.meta.name,
+                             pvc.meta.namespace,
+                             PVC_PROTECTION_FINALIZER)
+        return None
+
+    def _find_bindable_pv(self, api: ApiServer,
+                          pvc: PersistentVolumeClaim,
+                          ref: str) -> PersistentVolume | None:
+        candidates = []
+        for pv in api.list(PersistentVolume):
+            if pv.status.phase != "Available":
+                continue
+            if pv.spec.storage_class != pvc.spec.storage_class:
+                continue
+            if pv.spec.capacity_blocks < pvc.spec.capacity_blocks:
+                continue
+            if pv.spec.claim_ref and pv.spec.claim_ref != ref:
+                continue
+            candidates.append(pv)
+        if not candidates:
+            return None
+        # prefer a PV pre-bound to exactly this claim, then smallest fit
+        candidates.sort(key=lambda pv: (pv.spec.claim_ref != ref,
+                                        pv.spec.capacity_blocks,
+                                        pv.meta.name))
+        return candidates[0]
+
+    def _bind(self, api: ApiServer, pvc: PersistentVolumeClaim,
+              pv: PersistentVolume, ref: str) -> None:
+        pv.spec.claim_ref = ref
+        pv.status.phase = "Bound"
+        api.update(pv)
+        pvc.spec.volume_name = pv.meta.name
+        pvc.status.phase = "Bound"
+        api.update(pvc)
+
+    def map_event(self, api: ApiServer,
+                  event: WatchEvent) -> List[ObjectKey]:
+        """A new Available PV may satisfy a waiting claim."""
+        pv = event.object
+        if pv.spec.claim_ref:
+            namespace, _slash, name = pv.spec.claim_ref.partition("/")
+            return [ObjectKey(PersistentVolumeClaim.KIND, namespace, name)]
+        pending = [pvc.key for pvc in api.list(PersistentVolumeClaim)
+                   if not pvc.bound]
+        return pending
+
+
+def resolve_bound_volume(api: ApiServer, namespace: str,
+                         pvc_name: str) -> PersistentVolume:
+    """PV behind a bound PVC; raises CsiError when not resolvable."""
+    pvc = api.try_get(PersistentVolumeClaim, pvc_name, namespace)
+    if pvc is None:
+        raise NotFoundError(f"PVC {namespace}/{pvc_name} not found")
+    if not pvc.bound:
+        raise CsiError(f"PVC {namespace}/{pvc_name} is not bound")
+    pv = api.try_get(PersistentVolume, pvc.spec.volume_name)
+    if pv is None:
+        raise CsiError(
+            f"PVC {namespace}/{pvc_name} references missing PV "
+            f"{pvc.spec.volume_name!r}")
+    return pv
+
+
+class SnapshotReconciler(Reconciler):
+    """Cuts array snapshots for ``VolumeSnapshot`` objects."""
+
+    kind: ClassVar[Type[VolumeSnapshot]] = VolumeSnapshot
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+
+    def reconcile(self, api: ApiServer, key: ObjectKey,
+                  ) -> Generator[object, object, ReconcileResult]:
+        snapshot = api.try_get(VolumeSnapshot, key.name, key.namespace)
+        if snapshot is None:
+            return None
+        if snapshot.meta.deleting:
+            yield from self._delete_array_snapshot(api, snapshot)
+            return None
+        if snapshot.status.ready:
+            return None
+        if SNAPSHOT_PROTECTION_FINALIZER not in snapshot.meta.finalizers:
+            snapshot.meta.finalizers.append(
+                SNAPSHOT_PROTECTION_FINALIZER)
+            snapshot = api.update(snapshot)
+        try:
+            pv = resolve_bound_volume(api, key.namespace,
+                                      snapshot.spec.pvc_name)
+        except (CsiError, NotFoundError) as exc:
+            if snapshot.status.error != str(exc):
+                snapshot.status.error = str(exc)
+                api.update(snapshot)
+            return Requeue(after=0.100)
+        driver = self.cluster.csi_driver(pv.spec.csi.driver)
+        provisioned = yield from driver.create_snapshot(
+            name=f"snap-{snapshot.meta.uid}",
+            source_volume_handle=pv.spec.csi.volume_handle)
+        current = api.try_get(VolumeSnapshot, key.name, key.namespace)
+        if current is None:
+            return None
+        current.status.ready = True
+        current.status.snapshot_handle = provisioned.snapshot_handle
+        current.status.error = ""
+        api.update(current)
+        return None
+
+    def _delete_array_snapshot(self, api: ApiServer,
+                               snapshot: VolumeSnapshot,
+                               ) -> Generator[object, object, None]:
+        if SNAPSHOT_PROTECTION_FINALIZER not in snapshot.meta.finalizers:
+            return
+        handle = snapshot.status.snapshot_handle
+        if handle:
+            from repro.csi.spec import parse_snapshot_handle
+            from repro.errors import SnapshotError
+            serial, _snapshot_id = parse_snapshot_handle(handle)
+            for driver_name in ("hspc.hitachi.com",):
+                if not self.cluster.has_csi_driver(driver_name):
+                    continue
+                driver = self.cluster.csi_driver(driver_name)
+                if driver.array.serial != serial:
+                    continue
+                try:
+                    yield from driver.delete_snapshot(handle)
+                except SnapshotError:
+                    pass  # already gone: deletion is idempotent
+        api.remove_finalizer(VolumeSnapshot, snapshot.meta.name,
+                             snapshot.meta.namespace,
+                             SNAPSHOT_PROTECTION_FINALIZER)
+
+
+class GroupSnapshotReconciler(Reconciler):
+    """Forward-looking alpha controller for ``VolumeGroupSnapshot``.
+
+    NOT installed by default — the paper's plugin lacks this support and
+    the demo performs snapshot groups directly on the array.  Enable it
+    (plus a driver with ``enable_group_snapshots=True``) to reproduce
+    the future state the paper anticipates.
+    """
+
+    kind: ClassVar[Type[VolumeGroupSnapshot]] = VolumeGroupSnapshot
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+
+    def reconcile(self, api: ApiServer, key: ObjectKey,
+                  ) -> Generator[object, object, ReconcileResult]:
+        group = api.try_get(VolumeGroupSnapshot, key.name, key.namespace)
+        if group is None or group.meta.deleting or group.status.ready:
+            return None
+        pvcs = api.list(PersistentVolumeClaim, namespace=key.namespace,
+                        label_selector=group.spec.selector)
+        if not pvcs:
+            if group.status.error != "selector matches no PVCs":
+                group.status.error = "selector matches no PVCs"
+                api.update(group)
+            return Requeue(after=0.100)
+        handles: List[str] = []
+        driver_name = ""
+        for pvc in pvcs:
+            try:
+                pv = resolve_bound_volume(api, key.namespace,
+                                          pvc.meta.name)
+            except (CsiError, NotFoundError):
+                return Requeue(after=0.100)
+            handles.append(pv.spec.csi.volume_handle)
+            driver_name = pv.spec.csi.driver
+        driver = self.cluster.csi_driver(driver_name)
+        if not driver.supports_group_snapshots:
+            message = (
+                "driver does not support group snapshots (alpha CSI "
+                "feature; operate the storage array directly, see §II)")
+            if group.status.error != message:
+                group.status.error = message
+                api.update(group)
+            return None
+        provisioned = yield from driver.create_snapshot_group(
+            name=f"vgs-{group.meta.uid}", source_volume_handles=handles)
+        current = api.try_get(VolumeGroupSnapshot, key.name, key.namespace)
+        if current is None:
+            return None
+        current.status.ready = True
+        current.status.group_handle = provisioned.group_handle
+        current.status.snapshot_handles = {
+            pvc.meta.name: provisioned.member_handles[handle]
+            for pvc, handle in zip(pvcs, handles)}
+        current.status.error = ""
+        api.update(current)
+        return None
+
+
+def install_storage_plugin(cluster: "Cluster", driver: HspcDriver,
+                           enable_group_snapshots: bool = False) -> None:
+    """Install the Storage Plug-in for Containers on a cluster.
+
+    Registers the CSI driver plus the provisioner and snapshotter
+    controllers; optionally the alpha group-snapshot controller.
+    """
+    cluster.register_csi_driver(driver)
+    cluster.install(ProvisionerReconciler(cluster),
+                    name=f"{cluster.name}.csi-provisioner")
+    cluster.install(SnapshotReconciler(cluster),
+                    name=f"{cluster.name}.csi-snapshotter")
+    if enable_group_snapshots:
+        cluster.install(GroupSnapshotReconciler(cluster),
+                        name=f"{cluster.name}.csi-group-snapshotter")

@@ -1,0 +1,167 @@
+"""Exception hierarchy shared across the reproduction library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+The hierarchy mirrors the subsystem layout: simulation kernel errors,
+storage array errors, container platform errors, database errors, and
+recovery errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation kernel errors."""
+
+
+class SimTimeError(SimulationError):
+    """An event was scheduled in the past or with a negative delay."""
+
+
+class ProcessError(SimulationError):
+    """A simulation process was used in an illegal state."""
+
+
+class Interrupted(SimulationError):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class DeadlockError(SimulationError):
+    """``run()`` was asked to advance but no events remain while processes
+    are still waiting."""
+
+
+# ---------------------------------------------------------------------------
+# Storage array
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage array errors."""
+
+
+class VolumeError(StorageError):
+    """Illegal volume operation (unknown volume, bad block, offline)."""
+
+
+class CapacityError(StorageError):
+    """A pool or journal ran out of capacity."""
+
+
+class ReplicationError(StorageError):
+    """Illegal replication pair or consistency group operation."""
+
+
+class SnapshotError(StorageError):
+    """Illegal snapshot or snapshot group operation."""
+
+
+class ArrayCommandError(StorageError):
+    """A storage array command was rejected (bad arguments, bad state)."""
+
+
+# ---------------------------------------------------------------------------
+# Container platform
+# ---------------------------------------------------------------------------
+
+
+class PlatformError(ReproError):
+    """Base class for container platform errors."""
+
+
+class ApiError(PlatformError):
+    """Base class for API server request failures."""
+
+    code = 500
+    reason = "InternalError"
+
+
+class NotFoundError(ApiError):
+    """The requested object does not exist."""
+
+    code = 404
+    reason = "NotFound"
+
+
+class AlreadyExistsError(ApiError):
+    """An object with the same kind/namespace/name already exists."""
+
+    code = 409
+    reason = "AlreadyExists"
+
+
+class ConflictError(ApiError):
+    """Optimistic-concurrency conflict: stale resourceVersion."""
+
+    code = 409
+    reason = "Conflict"
+
+
+class InvalidObjectError(ApiError):
+    """The submitted object failed validation."""
+
+    code = 422
+    reason = "Invalid"
+
+
+class CsiError(PlatformError):
+    """A CSI driver call failed."""
+
+
+# ---------------------------------------------------------------------------
+# MiniDB
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for MiniDB errors."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition (e.g. write after commit)."""
+
+
+class RecoveryError(DatabaseError):
+    """Database recovery could not produce a consistent state."""
+
+
+class CorruptPageError(RecoveryError):
+    """A page failed its checksum during read or recovery."""
+
+
+class TwoPhaseCommitError(DatabaseError):
+    """A distributed transaction violated the 2PC protocol."""
+
+
+# ---------------------------------------------------------------------------
+# Recovery / failover
+# ---------------------------------------------------------------------------
+
+
+class FailoverError(ReproError):
+    """Backup-site promotion failed."""
+
+
+class CollapsedBackupError(FailoverError):
+    """The backup image is collapsed: no consistent recovery exists.
+
+    This is the failure mode of asynchronous data copy without a
+    consistency group that the paper's Section I describes.
+    """

@@ -1,0 +1,83 @@
+"""Simulated container platform (the paper's OpenShift clusters).
+
+Public surface:
+
+* :class:`Cluster` — one site's platform (API server + controllers +
+  console);
+* :class:`ApiServer`, :class:`WatchEvent`, :class:`EventType` — the
+  object store;
+* :class:`Controller`, :class:`ControllerManager`, :class:`Reconciler`,
+  :class:`Requeue`, :class:`BackoffPolicy` — the controller runtime;
+* resource kinds: :class:`Namespace`, :class:`Pod`,
+  :class:`PersistentVolumeClaim`, :class:`PersistentVolume`,
+  :class:`StorageClass`, :class:`VolumeSnapshot`,
+  :class:`VolumeGroupSnapshot`;
+* :class:`Console`, :class:`ConsoleOperation` — the demo's operation
+  surface;
+* :class:`ObjectMeta`, :class:`ObjectKey`, :class:`Condition` — object
+  model.
+"""
+
+from repro.platform.apiserver import (ApiServer, EventType, WatchEvent,
+                                      WatchStream)
+from repro.platform.cluster import Cluster
+from repro.platform.console import Console, ConsoleOperation
+from repro.platform.controller import (BackoffPolicy, Controller,
+                                       ControllerManager, Reconciler,
+                                       Requeue)
+from repro.platform.events import (PlatformEvent, events_for,
+                                   record_event)
+from repro.platform.gc import (GC_FINALIZER, NamespaceGcReconciler,
+                               install_namespace_gc)
+from repro.platform.objects import (ApiObject, Condition, ObjectKey,
+                                    ObjectMeta, get_condition,
+                                    matches_labels, set_condition)
+from repro.platform.resources import (CsiVolumeSource, Namespace,
+                                      PersistentVolume,
+                                      PersistentVolumeClaim, Pod, PodSpec,
+                                      PvcSpec, PvSpec, StorageClass,
+                                      VolumeGroupSnapshot, VolumeSnapshot,
+                                      VolumeSnapshotSpec, claim_ref)
+from repro.platform.scheduler import PodSchedulerReconciler
+
+__all__ = [
+    "ApiObject",
+    "ApiServer",
+    "BackoffPolicy",
+    "Cluster",
+    "Condition",
+    "Console",
+    "ConsoleOperation",
+    "Controller",
+    "ControllerManager",
+    "CsiVolumeSource",
+    "EventType",
+    "GC_FINALIZER",
+    "Namespace",
+    "NamespaceGcReconciler",
+    "ObjectKey",
+    "ObjectMeta",
+    "PersistentVolume",
+    "PersistentVolumeClaim",
+    "PlatformEvent",
+    "Pod",
+    "PodSchedulerReconciler",
+    "PodSpec",
+    "PvSpec",
+    "PvcSpec",
+    "Reconciler",
+    "Requeue",
+    "StorageClass",
+    "VolumeGroupSnapshot",
+    "VolumeSnapshot",
+    "VolumeSnapshotSpec",
+    "WatchEvent",
+    "WatchStream",
+    "claim_ref",
+    "events_for",
+    "get_condition",
+    "install_namespace_gc",
+    "record_event",
+    "matches_labels",
+    "set_condition",
+]

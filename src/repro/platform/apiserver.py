@@ -1,0 +1,243 @@
+"""In-memory API server with optimistic concurrency and watches.
+
+The server is the hub of the simulated container platform: controllers
+and the namespace operator communicate exclusively through it, exactly as
+on a real cluster.  Semantics reproduced:
+
+* **CRUD with resource versions** — ``update`` fails with
+  :class:`~repro.errors.ConflictError` unless the caller presents the
+  current resource version; every mutation bumps a server-wide version
+  counter.
+* **Watches** — a watch is an unbounded event queue fed by every
+  mutation of a kind; delivery is asynchronous through the simulator, so
+  controllers observe changes with realistic scheduling, not by magic
+  shared state.
+* **Finalizers** — ``delete`` on an object with finalizers only marks
+  the deletion timestamp; the object disappears (and ``DELETED`` fires)
+  when the last finalizer is removed.
+
+Objects are deep-copied on the way in and out; holding a returned object
+never aliases server state.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type, TypeVar
+
+from repro.errors import (AlreadyExistsError, ConflictError,
+                          NotFoundError)
+from repro.platform.objects import ApiObject, ObjectKey, matches_labels
+from repro.simulation.kernel import Simulator
+from repro.simulation.resources import Store
+
+T = TypeVar("T", bound=ApiObject)
+
+
+class EventType(enum.Enum):
+    """Watch event types."""
+
+    ADDED = "ADDED"
+    MODIFIED = "MODIFIED"
+    DELETED = "DELETED"
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One delivered watch event: the type and an object snapshot."""
+
+    type: EventType
+    object: ApiObject
+
+    @property
+    def key(self) -> ObjectKey:
+        """Identity of the object the event concerns."""
+        return self.object.key
+
+
+class WatchStream:
+    """A consumer handle over one kind's event feed."""
+
+    def __init__(self, sim: Simulator, kind: str, name: str = "") -> None:
+        self.kind = kind
+        self._queue = Store(sim, name=name or f"watch-{kind}")
+        self.closed = False
+
+    def next_event(self):
+        """Event (simulation waitable) yielding the next WatchEvent."""
+        return self._queue.get()
+
+    def try_next(self):
+        """Non-blocking: ``(ok, event)``."""
+        return self._queue.try_get()
+
+    def _deliver(self, event: WatchEvent) -> None:
+        if not self.closed:
+            self._queue.put(event)
+
+    def close(self) -> None:
+        """Stop receiving events (pending ones remain readable)."""
+        self.closed = True
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class ApiServer:
+    """The cluster's object store and watch hub."""
+
+    def __init__(self, sim: Simulator, cluster_name: str = "cluster") -> None:
+        self.sim = sim
+        self.cluster_name = cluster_name
+        self._objects: Dict[str, Dict[ObjectKey, ApiObject]] = {}
+        self._watches: Dict[str, List[WatchStream]] = {}
+        self._uid_counter = itertools.count(1)
+        self._rv_counter = itertools.count(1)
+        #: total mutations served, for operator-efficiency experiments
+        self.mutation_count = 0
+
+    # -- CRUD ---------------------------------------------------------------
+
+    def create(self, obj: T) -> T:
+        """Admit a new object; returns the stored snapshot."""
+        obj.validate()
+        kind_store = self._objects.setdefault(obj.kind, {})
+        key = obj.key
+        if key in kind_store:
+            raise AlreadyExistsError(f"{key} already exists")
+        stored = copy.deepcopy(obj)
+        stored.meta.uid = next(self._uid_counter)
+        stored.meta.resource_version = next(self._rv_counter)
+        stored.meta.creation_time = self.sim.now
+        stored.meta.deletion_time = None
+        kind_store[key] = stored
+        self.mutation_count += 1
+        self._broadcast(EventType.ADDED, stored)
+        return copy.deepcopy(stored)
+
+    def get(self, cls: Type[T], name: str, namespace: str = "") -> T:
+        """Fetch one object by identity; raises NotFoundError."""
+        key = ObjectKey(cls.KIND, namespace, name)
+        stored = self._objects.get(cls.KIND, {}).get(key)
+        if stored is None:
+            raise NotFoundError(f"{key} not found")
+        return copy.deepcopy(stored)  # type: ignore[return-value]
+
+    def try_get(self, cls: Type[T], name: str,
+                namespace: str = "") -> Optional[T]:
+        """Fetch one object or None (no exception)."""
+        try:
+            return self.get(cls, name, namespace)
+        except NotFoundError:
+            return None
+
+    def list(self, cls: Type[T], namespace: Optional[str] = None,
+             label_selector: Optional[Dict[str, str]] = None) -> List[T]:
+        """List objects of a kind, optionally filtered by namespace and
+        an equality label selector; name-sorted for determinism."""
+        results = []
+        for stored in self._objects.get(cls.KIND, {}).values():
+            if namespace is not None and stored.meta.namespace != namespace:
+                continue
+            if label_selector and not matches_labels(stored, label_selector):
+                continue
+            results.append(copy.deepcopy(stored))
+        results.sort(key=lambda o: (o.meta.namespace, o.meta.name))
+        return results  # type: ignore[return-value]
+
+    def update(self, obj: T) -> T:
+        """Replace an object; requires the current resource version."""
+        obj.validate()
+        stored = self._require(obj.key)
+        if obj.meta.resource_version != stored.meta.resource_version:
+            raise ConflictError(
+                f"{obj.key}: stale resourceVersion "
+                f"{obj.meta.resource_version} "
+                f"(current {stored.meta.resource_version})")
+        updated = copy.deepcopy(obj)
+        updated.meta.uid = stored.meta.uid
+        updated.meta.creation_time = stored.meta.creation_time
+        updated.meta.deletion_time = stored.meta.deletion_time
+        updated.meta.resource_version = next(self._rv_counter)
+        self._objects[obj.kind][obj.key] = updated
+        self.mutation_count += 1
+        self._broadcast(EventType.MODIFIED, updated)
+        self._maybe_finalize(updated)
+        return copy.deepcopy(updated)
+
+    def delete(self, cls: Type[T], name: str, namespace: str = "") -> None:
+        """Request deletion.
+
+        Objects without finalizers disappear immediately (``DELETED``);
+        objects with finalizers get a deletion timestamp and a
+        ``MODIFIED`` event so their controllers can clean up.
+        """
+        key = ObjectKey(cls.KIND, namespace, name)
+        stored = self._require(key)
+        if stored.meta.finalizers:
+            if stored.meta.deletion_time is None:
+                stored.meta.deletion_time = self.sim.now
+                stored.meta.resource_version = next(self._rv_counter)
+                self.mutation_count += 1
+                self._broadcast(EventType.MODIFIED, stored)
+            return
+        del self._objects[key.kind][key]
+        self.mutation_count += 1
+        self._broadcast(EventType.DELETED, stored)
+
+    def remove_finalizer(self, cls: Type[T], name: str, namespace: str,
+                         finalizer: str) -> None:
+        """Remove one finalizer; completes deletion when it was the last."""
+        key = ObjectKey(cls.KIND, namespace, name)
+        stored = self._require(key)
+        if finalizer not in stored.meta.finalizers:
+            return
+        stored.meta.finalizers.remove(finalizer)
+        stored.meta.resource_version = next(self._rv_counter)
+        self.mutation_count += 1
+        self._broadcast(EventType.MODIFIED, stored)
+        self._maybe_finalize(stored)
+
+    # -- watches ---------------------------------------------------------
+
+    def watch(self, cls: Type[T], name: str = "") -> WatchStream:
+        """Open a watch on a kind; past objects are replayed as ADDED so
+        late-starting controllers converge (list+watch semantics)."""
+        stream = WatchStream(self.sim, cls.KIND, name=name)
+        self._watches.setdefault(cls.KIND, []).append(stream)
+        for stored in self._objects.get(cls.KIND, {}).values():
+            stream._deliver(WatchEvent(EventType.ADDED,
+                                       copy.deepcopy(stored)))
+        return stream
+
+    # -- internals ------------------------------------------------------
+
+    def _require(self, key: ObjectKey) -> ApiObject:
+        stored = self._objects.get(key.kind, {}).get(key)
+        if stored is None:
+            raise NotFoundError(f"{key} not found")
+        return stored
+
+    def _maybe_finalize(self, stored: ApiObject) -> None:
+        if stored.meta.deletion_time is not None and \
+                not stored.meta.finalizers:
+            key = stored.key
+            if key in self._objects.get(key.kind, {}):
+                del self._objects[key.kind][key]
+                self.mutation_count += 1
+                self._broadcast(EventType.DELETED, stored)
+
+    def _broadcast(self, event_type: EventType, stored: ApiObject) -> None:
+        for stream in self._watches.get(stored.kind, []):
+            stream._deliver(WatchEvent(event_type, copy.deepcopy(stored)))
+
+    def object_count(self, cls: Type[T]) -> int:
+        """Number of stored objects of a kind."""
+        return len(self._objects.get(cls.KIND, {}))
+
+    def __repr__(self) -> str:
+        total = sum(len(v) for v in self._objects.values())
+        return f"<ApiServer {self.cluster_name!r} objects={total}>"

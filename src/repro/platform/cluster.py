@@ -1,0 +1,101 @@
+"""Cluster assembly: API server + controller manager + console.
+
+A :class:`Cluster` is one container platform (the paper runs two:
+OpenShift at the main site and at the backup site).  It wires the API
+server, the controller manager, the console facade and a registry of CSI
+drivers that site-local controllers resolve storage operations through.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import PlatformError
+from repro.platform.apiserver import ApiServer
+from repro.platform.console import Console
+from repro.platform.controller import (BackoffPolicy, Controller,
+                                       ControllerManager, Reconciler)
+from repro.platform.resources import Namespace
+from repro.platform.scheduler import PodSchedulerReconciler
+from repro.simulation.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.csi.driver import CsiDriver
+
+
+class Cluster:
+    """One container platform instance (a site's OpenShift)."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.api = ApiServer(sim, cluster_name=name)
+        self.manager = ControllerManager(sim, self.api)
+        self.console = Console(self)
+        self._csi_drivers: Dict[str, "CsiDriver"] = {}
+        self._started = False
+        # every cluster ships the pod scheduler
+        self.manager.register(PodSchedulerReconciler(),
+                              name=f"{name}.pod-scheduler")
+
+    # -- CSI driver registry -------------------------------------------------
+
+    def register_csi_driver(self, driver: "CsiDriver") -> None:
+        """Install a CSI driver (idempotent by driver name)."""
+        existing = self._csi_drivers.get(driver.driver_name)
+        if existing is not None and existing is not driver:
+            raise PlatformError(
+                f"cluster {self.name}: CSI driver {driver.driver_name!r} "
+                "already registered")
+        self._csi_drivers[driver.driver_name] = driver
+
+    def csi_driver(self, driver_name: str) -> "CsiDriver":
+        """Resolve a registered CSI driver by name."""
+        driver = self._csi_drivers.get(driver_name)
+        if driver is None:
+            raise PlatformError(
+                f"cluster {self.name}: no CSI driver {driver_name!r}")
+        return driver
+
+    def has_csi_driver(self, driver_name: str) -> bool:
+        """True when the driver is installed on this cluster."""
+        return driver_name in self._csi_drivers
+
+    # -- controller lifecycle ----------------------------------------------
+
+    def install(self, reconciler: Reconciler, name: str = "",
+                backoff: Optional[BackoffPolicy] = None) -> Controller:
+        """Register a controller; starts immediately if the cluster is up."""
+        controller = self.manager.register(
+            reconciler, name=name or f"{self.name}.{type(reconciler).__name__}",
+            backoff=backoff)
+        if self._started:
+            controller.start()
+        return controller
+
+    def start(self) -> None:
+        """Start every installed controller (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.manager.start_all()
+
+    def stop(self) -> None:
+        """Stop every controller (site shutdown)."""
+        self._started = False
+        self.manager.stop_all()
+
+    # -- conveniences ------------------------------------------------------
+
+    def create_namespace(self, name: str,
+                         labels: Optional[Dict[str, str]] = None,
+                         ) -> Namespace:
+        """Create a namespace (programmatic; console tagging is separate)."""
+        namespace = Namespace()
+        namespace.meta.name = name
+        namespace.meta.labels = dict(labels or {})
+        return self.api.create(namespace)
+
+    def __repr__(self) -> str:
+        state = "started" if self._started else "stopped"
+        return f"<Cluster {self.name!r} {state}>"

@@ -1,0 +1,209 @@
+"""Controller runtime: work queues and reconcile loops.
+
+The namespace operator and the storage plugins are built on this runtime,
+which reproduces the controller-runtime discipline of real operators:
+
+* watches feed object *keys* into a deduplicating work queue;
+* a worker process takes one key at a time and calls the reconciler;
+* a reconciler is **level-triggered**: it reads the current state from
+  the API server and drives the world toward it, never relying on the
+  event payload;
+* failures are retried with exponential backoff; a reconciler can also
+  request an explicit requeue after a delay.
+
+Reconcilers are written as process generators so their actions (array
+commands, remote calls) take simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Set, Type
+
+from repro.platform.apiserver import ApiServer, WatchEvent
+from repro.platform.objects import ApiObject, ObjectKey
+from repro.simulation.kernel import Simulator
+from repro.simulation.resources import Store
+
+
+@dataclass(frozen=True)
+class Requeue:
+    """Reconcile result asking to be called again after ``after`` seconds."""
+
+    after: float
+
+    def __post_init__(self) -> None:
+        if self.after < 0:
+            raise ValueError(f"requeue delay must be >= 0: {self.after}")
+
+
+#: Reconcile generators return ``None`` (done) or a :class:`Requeue`.
+ReconcileResult = Optional[Requeue]
+
+
+class Reconciler:
+    """Base class for reconcilers; override :meth:`reconcile`."""
+
+    #: primary kind whose keys this reconciler receives
+    kind: Type[ApiObject]
+    #: additional kinds whose events requeue mapped keys
+    extra_kinds: Sequence[Type[ApiObject]] = ()
+
+    def reconcile(self, api: ApiServer, key: ObjectKey,
+                  ) -> Generator[object, object, ReconcileResult]:
+        """Drive the world toward the object's desired state.
+
+        Process generator.  Raising marks the key for backoff retry.
+        """
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for typing
+
+    def map_event(self, api: ApiServer,
+                  event: WatchEvent) -> List[ObjectKey]:
+        """Map an event of an ``extra_kinds`` object to primary keys.
+
+        Default: no mapping (secondary events ignored).
+        """
+        return []
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential retry backoff for failed reconciles."""
+
+    initial: float = 0.005
+    factor: float = 2.0
+    maximum: float = 1.0
+
+    def delay(self, failures: int) -> float:
+        """Backoff before retry number ``failures`` (1-based)."""
+        if failures < 1:
+            raise ValueError("failures must be >= 1")
+        return min(self.initial * self.factor ** (failures - 1),
+                   self.maximum)
+
+
+class Controller:
+    """One reconciler wired to watches and a worker process."""
+
+    def __init__(self, sim: Simulator, api: ApiServer,
+                 reconciler: Reconciler, name: str = "",
+                 backoff: Optional[BackoffPolicy] = None) -> None:
+        self.sim = sim
+        self.api = api
+        self.reconciler = reconciler
+        self.name = name or type(reconciler).__name__
+        self.backoff = backoff or BackoffPolicy()
+        self._queue: Store = Store(sim, name=f"{self.name}.queue")
+        self._pending: Set[ObjectKey] = set()
+        self._failures: Dict[ObjectKey, int] = {}
+        self._running = False
+        #: reconcile invocations, for operator-efficiency experiments
+        self.reconcile_count = 0
+        self.error_count = 0
+
+    # -- queue -----------------------------------------------------------
+
+    def enqueue(self, key: ObjectKey) -> None:
+        """Add a key to the work queue (coalesced while pending)."""
+        if key in self._pending:
+            return
+        self._pending.add(key)
+        self._queue.put(key)
+
+    def enqueue_after(self, key: ObjectKey, delay: float) -> None:
+        """Enqueue a key after ``delay`` seconds."""
+        self.sim.call_after(delay, lambda: self.enqueue(key))
+
+    @property
+    def queue_depth(self) -> int:
+        """Keys waiting to be reconciled."""
+        return len(self._queue)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Open watches and spawn the pump and worker processes."""
+        if self._running:
+            return
+        self._running = True
+        primary = self.api.watch(self.reconciler.kind,
+                                 name=f"{self.name}.watch")
+        self.sim.spawn(self._pump(primary, primary_kind=True),
+                       name=f"{self.name}.pump")
+        for extra in self.reconciler.extra_kinds:
+            stream = self.api.watch(extra, name=f"{self.name}.watch-extra")
+            self.sim.spawn(self._pump(stream, primary_kind=False),
+                           name=f"{self.name}.pump-extra")
+        self.sim.spawn(self._worker(), name=f"{self.name}.worker")
+
+    def stop(self) -> None:
+        """Stop pumping and working at the next step."""
+        self._running = False
+
+    # -- processes -----------------------------------------------------------
+
+    def _pump(self, stream, primary_kind: bool,
+              ) -> Generator[object, object, None]:
+        while self._running:
+            event: WatchEvent = yield stream.next_event()
+            if not self._running:
+                return
+            if primary_kind:
+                self.enqueue(event.key)
+            else:
+                for key in self.reconciler.map_event(self.api, event):
+                    self.enqueue(key)
+
+    def _worker(self) -> Generator[object, object, None]:
+        while self._running:
+            key: ObjectKey = yield self._queue.get()
+            self._pending.discard(key)
+            if not self._running:
+                return
+            self.reconcile_count += 1
+            try:
+                result = yield from self.reconciler.reconcile(self.api, key)
+            except Exception:  # noqa: BLE001 - controller must survive
+                self.error_count += 1
+                failures = self._failures.get(key, 0) + 1
+                self._failures[key] = failures
+                self.enqueue_after(key, self.backoff.delay(failures))
+                continue
+            self._failures.pop(key, None)
+            if isinstance(result, Requeue):
+                self.enqueue_after(key, result.after)
+
+
+class ControllerManager:
+    """Bundles the controllers of one cluster."""
+
+    def __init__(self, sim: Simulator, api: ApiServer) -> None:
+        self.sim = sim
+        self.api = api
+        self.controllers: List[Controller] = []
+
+    def register(self, reconciler: Reconciler, name: str = "",
+                 backoff: Optional[BackoffPolicy] = None) -> Controller:
+        """Create and remember a controller for ``reconciler``."""
+        controller = Controller(self.sim, self.api, reconciler, name=name,
+                                backoff=backoff)
+        self.controllers.append(controller)
+        return controller
+
+    def start_all(self) -> None:
+        """Start every registered controller."""
+        for controller in self.controllers:
+            controller.start()
+
+    def stop_all(self) -> None:
+        """Stop every registered controller."""
+        for controller in self.controllers:
+            controller.stop()
+
+    def by_name(self, name: str) -> Controller:
+        """Find a controller by its name."""
+        for controller in self.controllers:
+            if controller.name == name:
+                return controller
+        raise KeyError(f"no controller named {name!r}")

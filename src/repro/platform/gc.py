@@ -1,0 +1,87 @@
+"""Namespace garbage collection: cascade deletion of namespace contents.
+
+Kubernetes deletes a namespace's objects when the namespace goes away;
+the simulated platform reproduces that with a controller so that
+deleting a demo namespace tears down its pods, claims, snapshots and
+custom resources — which in turn lets their finalizer-owning controllers
+(the replication plugin) unwind the storage configuration.
+
+The namespace itself carries a GC finalizer: it disappears only after
+every contained object is gone, mirroring the real "Terminating"
+namespace phase.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Generator, List, Sequence, Type
+
+from repro.platform.apiserver import ApiServer, WatchEvent
+from repro.platform.controller import Reconciler, ReconcileResult, Requeue
+from repro.platform.objects import ApiObject, ObjectKey
+from repro.platform.resources import (Namespace, PersistentVolumeClaim,
+                                      Pod, VolumeGroupSnapshot,
+                                      VolumeSnapshot)
+
+#: finalizer the GC owns on namespaces
+GC_FINALIZER = "platform/namespace-gc"
+
+#: namespaced kinds swept by the GC, in deletion order
+DEFAULT_SWEPT_KINDS: Sequence[Type[ApiObject]] = (
+    Pod, VolumeSnapshot, VolumeGroupSnapshot, PersistentVolumeClaim)
+
+
+class NamespaceGcReconciler(Reconciler):
+    """Implements Terminating-namespace semantics."""
+
+    kind: ClassVar[Type[Namespace]] = Namespace
+
+    def __init__(self,
+                 swept_kinds: Sequence[Type[ApiObject]] =
+                 DEFAULT_SWEPT_KINDS,
+                 extra_swept_kinds: Sequence[Type[ApiObject]] = ()
+                 ) -> None:
+        """``extra_swept_kinds`` adds custom resources (e.g. the
+        replication CRs) to the sweep; deleted after the defaults."""
+        self.swept_kinds = tuple(swept_kinds) + tuple(extra_swept_kinds)
+        # watch the swept kinds so content deletion re-wakes the GC
+        self.extra_kinds = self.swept_kinds
+
+    def reconcile(self, api: ApiServer, key: ObjectKey,
+                  ) -> Generator[object, object, ReconcileResult]:
+        namespace = api.try_get(Namespace, key.name)
+        if namespace is None:
+            return None
+        if not namespace.meta.deleting:
+            if GC_FINALIZER not in namespace.meta.finalizers:
+                namespace.meta.finalizers.append(GC_FINALIZER)
+                api.update(namespace)
+            return None
+        remaining = 0
+        for kind in self.swept_kinds:
+            for obj in api.list(kind, namespace=key.name):
+                remaining += 1
+                if not obj.meta.deleting:
+                    api.delete(kind, obj.meta.name, key.name)
+        if namespace.phase != "Terminating":
+            namespace.phase = "Terminating"
+            api.update(namespace)
+            return Requeue(after=0.010)
+        if remaining:
+            return Requeue(after=0.020)
+        api.remove_finalizer(Namespace, key.name, "", GC_FINALIZER)
+        return None
+        yield  # pragma: no cover - generator marker
+
+    def map_event(self, api: ApiServer,
+                  event: WatchEvent) -> List[ObjectKey]:
+        """Content changes wake the owning (terminating) namespace."""
+        return [ObjectKey(Namespace.KIND, "", event.object.meta.namespace)]
+
+
+def install_namespace_gc(cluster,
+                         extra_swept_kinds: Sequence[Type[ApiObject]]
+                         = ()) -> None:
+    """Install the namespace GC on a cluster."""
+    reconciler = NamespaceGcReconciler(
+        extra_swept_kinds=extra_swept_kinds)
+    cluster.install(reconciler, name=f"{cluster.name}.namespace-gc")

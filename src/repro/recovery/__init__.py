@@ -1,0 +1,31 @@
+"""Recovery layer: consistency checking, failover, RPO/RTO measurement."""
+
+from repro.recovery.checker import (BusinessCheckReport, CutWitness,
+                                    InvariantViolation, StorageCutReport,
+                                    check_business_invariants,
+                                    check_storage_cut,
+                                    image_versions_from_volumes)
+from repro.recovery.failback import (FailbackManager, FailbackReport,
+                                     FailbackResult)
+from repro.recovery.failover import (FailoverManager, FailoverReport,
+                                     PromotedBusiness, fail_and_recover)
+from repro.recovery.schedule import SnapshotGeneration, SnapshotScheduler
+
+__all__ = [
+    "FailbackManager",
+    "FailbackReport",
+    "FailbackResult",
+    "BusinessCheckReport",
+    "CutWitness",
+    "FailoverManager",
+    "FailoverReport",
+    "InvariantViolation",
+    "PromotedBusiness",
+    "SnapshotGeneration",
+    "SnapshotScheduler",
+    "StorageCutReport",
+    "check_business_invariants",
+    "check_storage_cut",
+    "fail_and_recover",
+    "image_versions_from_volumes",
+]

@@ -1,0 +1,216 @@
+"""Consistency checkers: is a backup image usable?
+
+Two levels, matching the paper's argument structure (§I):
+
+* **Storage level** — :func:`check_storage_cut`: the backup image of a
+  volume group is *consistent* iff the set of acknowledged writes it
+  contains is downward-closed under the main array's ack order
+  (restricted to the group).  Equivalently: it is a prefix — possibly
+  plus in-flight never-acked writes, which are harmless because no
+  application was told they happened.  The consistency group makes this
+  hold by construction; independent journals break it.
+
+* **Business level** — :func:`check_business_invariants`: after database
+  recovery and 2PC resolution, the e-commerce invariants must hold:
+  every order has its stock movement and vice versa, quantities match,
+  and stock is conserved against the initial inventory.  A storage-level
+  prefix violation surfaces here as orders without movements *and*
+  movements without orders simultaneously — the "collapsed" backup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.apps.ecommerce import BusinessState, CatalogItem
+from repro.storage.history import WriteHistory, WriteRecord
+
+
+@dataclass(frozen=True)
+class CutWitness:
+    """Evidence of a non-prefix cut: an applied write acked *after* a
+    missing write."""
+
+    missing: WriteRecord
+    applied: WriteRecord
+
+    def __str__(self) -> str:
+        return (f"write {self.applied} is present although earlier "
+                f"{self.missing} is absent")
+
+
+@dataclass
+class StorageCutReport:
+    """Result of the storage-level prefix check."""
+
+    consistent: bool
+    #: acked writes present in the image
+    applied_count: int
+    #: acked writes absent from the image (the cut's tail = RPO source)
+    missing_count: int
+    #: writes present at the backup but never acked (in-flight; harmless)
+    unacked_count: int
+    #: the first few violations, for diagnostics
+    witnesses: List[CutWitness] = field(default_factory=list)
+    #: ack seq of the last contiguously-applied record (-1 if none)
+    prefix_seq: int = -1
+
+    def __str__(self) -> str:
+        verdict = "CONSISTENT" if self.consistent else "COLLAPSED"
+        return (f"{verdict}: applied={self.applied_count} "
+                f"missing={self.missing_count} "
+                f"unacked={self.unacked_count} prefix={self.prefix_seq}")
+
+
+def check_storage_cut(history: WriteHistory,
+                      image_versions: Mapping[int, Mapping[int, int]],
+                      max_witnesses: int = 5) -> StorageCutReport:
+    """Check a backup image of a volume group against the ack history.
+
+    ``image_versions`` maps *primary* volume id → (block → version) of
+    the corresponding backup image (secondary volume block map, or a
+    snapshot's frozen version map, re-keyed by primary id).
+
+    A history record is *applied* iff the image's version for its block
+    is >= the record's version (restore applies versions monotonically,
+    so this is exact).
+    """
+    group_history = history.restricted(image_versions.keys())
+    applied_count = 0
+    missing_count = 0
+    prefix_seq = -1
+    in_prefix = True
+    first_missing: Optional[WriteRecord] = None
+    witnesses: List[CutWitness] = []
+    acked_versions: Dict[Tuple[int, int], int] = {}
+    for record in group_history:
+        key = (record.volume_id, record.block)
+        acked_versions[key] = max(acked_versions.get(key, 0),
+                                  record.version)
+        image_version = image_versions[record.volume_id].get(
+            record.block, 0)
+        applied = image_version >= record.version
+        if applied:
+            applied_count += 1
+            if in_prefix:
+                prefix_seq = record.seq
+            elif first_missing is not None and \
+                    len(witnesses) < max_witnesses:
+                witnesses.append(CutWitness(missing=first_missing,
+                                            applied=record))
+        else:
+            missing_count += 1
+            if in_prefix:
+                in_prefix = False
+                first_missing = record
+    unacked_count = 0
+    for volume_id, blocks in image_versions.items():
+        for block, version in blocks.items():
+            if version > acked_versions.get((volume_id, block), 0):
+                unacked_count += 1
+    return StorageCutReport(
+        consistent=not witnesses, applied_count=applied_count,
+        missing_count=missing_count, unacked_count=unacked_count,
+        witnesses=witnesses, prefix_seq=prefix_seq)
+
+
+def image_versions_from_volumes(pair_map: Mapping[int, object],
+                                ) -> Dict[int, Dict[int, int]]:
+    """Build the checker input from secondary volume objects.
+
+    ``pair_map`` maps primary volume id → secondary
+    :class:`~repro.storage.volume.Volume`.
+    """
+    return {
+        pvol_id: {block: value.version
+                  for block, value in svol.block_map().items()}
+        for pvol_id, svol in pair_map.items()}
+
+
+# ---------------------------------------------------------------------------
+# Business level
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken business invariant."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+
+@dataclass
+class BusinessCheckReport:
+    """Result of the business-level invariant check."""
+
+    consistent: bool
+    order_count: int
+    movement_count: int
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def collapsed(self) -> bool:
+        """True when the image shows *mutual* missing transactions —
+        the §I collapse signature that no recovery procedure can fix."""
+        kinds = {violation.kind for violation in self.violations}
+        return "order-without-movement" in kinds and \
+            "movement-without-order" in kinds
+
+    def __str__(self) -> str:
+        verdict = "CONSISTENT" if self.consistent else (
+            "COLLAPSED" if self.collapsed else "INCONSISTENT")
+        return (f"{verdict}: orders={self.order_count} "
+                f"movements={self.movement_count} "
+                f"violations={len(self.violations)}")
+
+
+def check_business_invariants(business: BusinessState,
+                              catalog: Sequence[CatalogItem],
+                              ) -> BusinessCheckReport:
+    """Check the e-commerce invariants over recovered business state."""
+    violations: List[InvariantViolation] = []
+    order_gtids = set(business.orders)
+    movement_gtids = set(business.movements)
+    for gtid in sorted(order_gtids - movement_gtids):
+        violations.append(InvariantViolation(
+            kind="order-without-movement",
+            detail=f"order {gtid} has no stock movement"))
+    for gtid in sorted(movement_gtids - order_gtids):
+        violations.append(InvariantViolation(
+            kind="movement-without-order",
+            detail=f"stock movement {gtid} has no order"))
+    for gtid in sorted(order_gtids & movement_gtids):
+        order_lines = business.orders[gtid]["lines"]
+        movement_lines = business.movements[gtid]["lines"]
+        if order_lines != movement_lines:
+            violations.append(InvariantViolation(
+                kind="order-movement-mismatch",
+                detail=(f"{gtid}: order {order_lines} vs movement "
+                        f"{movement_lines}")))
+    sold: Dict[str, int] = {}
+    for movement in business.movements.values():
+        for line in movement["lines"]:
+            sold[line["item"]] = sold.get(line["item"], 0) + line["qty"]
+    for item in catalog:
+        expected = item.initial_qty - sold.get(item.item_id, 0)
+        actual = business.quantities.get(item.item_id)
+        if actual is None:
+            violations.append(InvariantViolation(
+                kind="missing-quantity",
+                detail=f"{item.item_id}: no quantity record"))
+        elif actual != expected:
+            violations.append(InvariantViolation(
+                kind="stock-not-conserved",
+                detail=(f"{item.item_id}: have {actual}, expected "
+                        f"{expected} (initial {item.initial_qty}, "
+                        f"sold {sold.get(item.item_id, 0)})")))
+    return BusinessCheckReport(
+        consistent=not violations,
+        order_count=len(order_gtids),
+        movement_count=len(movement_gtids),
+        violations=violations)

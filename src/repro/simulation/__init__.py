@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel.
+
+Deterministic generator-process simulator that every other subsystem of
+the reproduction runs on.  Public surface:
+
+* :class:`Simulator` — clock, event queue, process spawner.
+* :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` —
+  waitables.
+* :class:`Process` — spawned generator handle with join/interrupt.
+* :class:`Lock`, :class:`Semaphore`, :class:`Store`, :class:`Gate` —
+  synchronisation.
+* :class:`NetworkLink`, :class:`SitePair` — inter-site links.
+"""
+
+from repro.simulation.events import AllOf, AnyOf, Event, Timeout
+from repro.simulation.kernel import Simulator
+from repro.simulation.network import LinkDownError, NetworkLink, SitePair
+from repro.simulation.process import Process
+from repro.simulation.resources import Gate, Lock, Semaphore, Store
+from repro.simulation.rng import RngRegistry, derive_seed
+from repro.simulation.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Gate",
+    "LinkDownError",
+    "Lock",
+    "NetworkLink",
+    "Process",
+    "RngRegistry",
+    "Semaphore",
+    "Simulator",
+    "SitePair",
+    "Store",
+    "Timeout",
+    "TraceLog",
+    "TraceRecord",
+    "derive_seed",
+]

@@ -1,0 +1,212 @@
+"""Simulation events: the primitive futures of the discrete-event kernel.
+
+An :class:`Event` is a one-shot future living inside a single
+:class:`~repro.simulation.kernel.Simulator`.  Processes wait on events by
+yielding them; the kernel resumes the process when the event fires.
+
+Three terminal states exist:
+
+* *pending* — created, not yet fired;
+* *succeeded* — fired with a value;
+* *failed* — fired with an exception (re-raised inside waiting processes).
+
+:class:`Timeout` is an event that the kernel fires after a delay.
+:class:`AllOf` / :class:`AnyOf` combine events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.errors import ProcessError, SimTimeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.simulation.kernel import Simulator
+
+_event_ids = itertools.count(1)
+
+PENDING = "pending"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+
+
+class Event:
+    """A one-shot future that simulation processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.  Events may only be combined with and waited
+        on by processes of the same simulator.
+    name:
+        Optional debug label shown in ``repr`` and traces.
+    """
+
+    __slots__ = ("sim", "name", "event_id", "_state", "_value", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.event_id = next(_event_ids)
+        self._state = PENDING
+        self._value: object = None
+        self._callbacks: list[Callable[[Event], None]] = []
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has not fired."""
+        return self._state == PENDING
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event fired, successfully or not."""
+        return self._state != PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully."""
+        return self._state == SUCCEEDED
+
+    @property
+    def value(self) -> object:
+        """The success value or failure exception; raises while pending."""
+        if self._state == PENDING:
+            raise ProcessError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: object = None) -> "Event":
+        """Fire the event successfully, waking every waiter.
+
+        Returns self so callers can write ``return event.succeed(v)``.
+        """
+        self._trigger(SUCCEEDED, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event with an exception; waiters re-raise it."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._trigger(FAILED, exc)
+        return self
+
+    def _trigger(self, state: str, value: object) -> None:
+        if self._state != PENDING:
+            raise ProcessError(f"{self!r} already triggered")
+        self._state = state
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim._schedule_callback(self, callback)
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event fires.
+
+        If the event already fired the callback is scheduled immediately
+        (still through the event queue, preserving deterministic order).
+        """
+        if self._state == PENDING:
+            self._callbacks.append(callback)
+        else:
+            self.sim._schedule_callback(self, callback)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}#{self.event_id}{label} {self._state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: object = None,
+                 name: str = "") -> None:
+        if delay < 0:
+            raise SimTimeError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=name or f"timeout({delay:g})")
+        self.delay = delay
+        sim._schedule_timeout(self, delay, value)
+
+
+class Condition(Event):
+    """Base for events that fire when a set of child events satisfies a
+    predicate (used by :class:`AllOf` and :class:`AnyOf`)."""
+
+    __slots__ = ("events", "_unfired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event],
+                 name: str = "") -> None:
+        super().__init__(sim, name=name)
+        self.events = tuple(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ProcessError(
+                    f"{event!r} belongs to a different simulator")
+        self._unfired = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            event.add_callback(self._child_fired)
+
+    def _collect(self) -> dict[Event, object]:
+        return {event: event._value for event in self.events
+                if event.triggered and event.ok}
+
+    def _child_fired(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._value)  # type: ignore[arg-type]
+            return
+        self._unfired -= 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires when *every* child event has fired successfully.
+
+    The value is a dict mapping each child event to its value.  Fails as
+    soon as any child fails.
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._unfired == 0
+
+
+class AnyOf(Condition):
+    """Fires when *any* child event has fired successfully.
+
+    The value is a dict of the already-fired children (usually one).
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._unfired < len(self.events)
+
+
+class CallbackHandle:
+    """Cancellation token returned by :meth:`Simulator.call_at`."""
+
+    __slots__ = ("cancelled", "fn")
+
+    def __init__(self, fn: Optional[Callable[[], None]]) -> None:
+        self.cancelled = False
+        self.fn = fn
+
+    def cancel(self) -> None:
+        """Prevent the scheduled callback from running (idempotent)."""
+        self.cancelled = True
+        self.fn = None

@@ -1,0 +1,198 @@
+"""The discrete-event simulator kernel.
+
+:class:`Simulator` owns the virtual clock and the event queue.  All other
+subsystems (storage array, container platform, databases, operators) run
+as generator processes inside one simulator, which makes every experiment
+deterministic and repeatable for a given seed.
+
+Typical usage::
+
+    sim = Simulator(seed=7)
+
+    def hello(sim):
+        yield sim.timeout(1.5)
+        return "done at %.1f" % sim.now
+
+    proc = sim.spawn(hello(sim), name="hello")
+    sim.run()
+    assert sim.now == 1.5 and proc.result == "done at 1.5"
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterable, Optional
+
+from repro.errors import DeadlockError, SimTimeError
+from repro.simulation.events import (AllOf, AnyOf, CallbackHandle, Event,
+                                     Timeout)
+from repro.simulation.process import Process, ProcessGenerator
+from repro.simulation.rng import RngRegistry
+from repro.simulation.trace import TraceLog
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the named RNG streams (see :class:`RngRegistry`).
+        Two simulators with the same seed and the same program produce
+        identical histories.
+    trace:
+        When true, record a :class:`TraceLog` of scheduling activity
+        (useful in tests and debugging; off by default for speed).
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.rng = RngRegistry(seed)
+        self.trace = TraceLog(self) if trace else None
+        #: When true (default) a process whose generator raises stores the
+        #: exception on its termination event instead of crashing ``run``.
+        self.capture_process_errors = True
+        self._stopped = False
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event construction ----------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: object = None,
+                name: str = "") -> Timeout:
+        """Event that fires ``delay`` seconds from now with ``value``."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` fired successfully."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any of ``events`` fired successfully."""
+        return AnyOf(self, events)
+
+    # -- processes ---------------------------------------------------------
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process from ``generator`` at the current time."""
+        process = Process(self, generator, name=name)
+        if self.trace is not None:
+            self.trace.record("spawn", process=process.name)
+        self._schedule_resume(process, None)
+        return process
+
+    # -- direct scheduling ---------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> CallbackHandle:
+        """Run ``fn()`` at absolute simulated time ``when``.
+
+        Returns a handle whose ``cancel()`` prevents execution.
+        """
+        if when < self._now:
+            raise SimTimeError(
+                f"cannot schedule at {when:g}, now is {self._now:g}")
+        handle = CallbackHandle(fn)
+
+        def runner() -> None:
+            if not handle.cancelled and handle.fn is not None:
+                handle.fn()
+
+        self._push(when, runner)
+        return handle
+
+    def call_after(self, delay: float,
+                   fn: Callable[[], None]) -> CallbackHandle:
+        """Run ``fn()`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimTimeError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, fn)
+
+    # -- run loop --------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the simulation time at exit.  With ``until`` set, the
+        clock is advanced to exactly ``until`` even if the last event
+        fired earlier (so repeated ``run(until=...)`` calls tile time).
+        """
+        if until is not None and until < self._now:
+            raise SimTimeError(
+                f"cannot run until {until:g}, now is {self._now:g}")
+        self._stopped = False
+        while self._queue and not self._stopped:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                break
+            when, _seq, fn = heapq.heappop(self._queue)
+            self._now = when
+            fn()
+        if until is not None and not self._stopped:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_until_complete(self, process: Process,
+                           timeout: Optional[float] = None) -> object:
+        """Run until ``process`` terminates and return its result.
+
+        Raises :class:`DeadlockError` if the event queue drains first,
+        or :class:`SimTimeError` if ``timeout`` simulated seconds pass.
+        """
+        deadline = None if timeout is None else self._now + timeout
+        while process.alive:
+            if not self._queue:
+                raise DeadlockError(
+                    f"event queue drained while {process!r} still waiting")
+            if deadline is not None and self._queue[0][0] > deadline:
+                raise SimTimeError(
+                    f"{process!r} did not finish within {timeout:g}s")
+            when, _seq, fn = heapq.heappop(self._queue)
+            self._now = when
+            fn()
+        return process.result
+
+    def stop(self) -> None:
+        """Make the current ``run()`` call return after this event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled-but-unprocessed queue entries."""
+        return len(self._queue)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    # -- kernel internals (used by Event/Process) -----------------------------
+
+    def _push(self, when: float, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._queue, (when, next(self._sequence), fn))
+
+    def _schedule_timeout(self, event: Event, delay: float,
+                          value: object) -> None:
+        self._push(self._now + delay, lambda: event.succeed(value))
+
+    def _schedule_callback(self, event: Event,
+                           callback: Callable[[Event], None]) -> None:
+        self._push(self._now, lambda: callback(event))
+
+    def _schedule_resume(self, process: Process,
+                         fired: Optional[Event]) -> None:
+        self._push(self._now, lambda: process._step(fired))
+
+    def __repr__(self) -> str:
+        return (f"<Simulator now={self._now:g} "
+                f"pending={len(self._queue)}>")

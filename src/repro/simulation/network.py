@@ -1,0 +1,161 @@
+"""Inter-site network link model.
+
+The paper's two storage arrays are connected by a replication network
+(§IV-A).  The difference between synchronous and asynchronous data copy is
+*whether the foreground ack waits on this link*, so the link model is the
+axis most experiments sweep.
+
+:class:`NetworkLink` models a unidirectional link with:
+
+* fixed propagation latency,
+* optional bandwidth (bytes/second) producing size-dependent serialisation
+  delay and FIFO queueing on the sender side,
+* optional uniform jitter on the propagation latency,
+* fail/partition support (transfers raise :class:`LinkDownError`).
+
+``transfer(payload_bytes)`` is a process-style generator: ``yield from
+link.transfer(n)`` completes when the last byte arrives at the far end.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.errors import SimulationError
+from repro.simulation.resources import Lock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Simulator
+
+
+class LinkDownError(SimulationError):
+    """A transfer was attempted (or in flight) while the link was down."""
+
+
+class NetworkLink:
+    """A unidirectional network link between two sites.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    latency:
+        One-way propagation delay in seconds.
+    bandwidth_bytes_per_s:
+        Serialisation bandwidth; ``None`` means infinite (latency only).
+    jitter_fraction:
+        Uniform +/- fraction applied to the propagation latency per
+        transfer (0 disables jitter).
+    name:
+        Label used for the RNG stream and metrics.
+    """
+
+    def __init__(self, sim: "Simulator", latency: float,
+                 bandwidth_bytes_per_s: float | None = None,
+                 jitter_fraction: float = 0.0,
+                 name: str = "link") -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        if bandwidth_bytes_per_s is not None and bandwidth_bytes_per_s <= 0:
+            raise ValueError(f"bandwidth must be > 0: {bandwidth_bytes_per_s}")
+        if not 0 <= jitter_fraction < 1:
+            raise ValueError(f"jitter_fraction must be in [0,1): {jitter_fraction}")
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.bandwidth = bandwidth_bytes_per_s
+        self.jitter_fraction = jitter_fraction
+        self._up = True
+        self._serialiser = Lock(sim, name=f"{name}.serialiser")
+        #: cumulative bytes moved (for experiment reporting)
+        self.bytes_transferred = 0
+        #: number of completed transfers
+        self.transfer_count = 0
+
+    @property
+    def is_up(self) -> bool:
+        """True while the link carries traffic."""
+        return self._up
+
+    def fail(self) -> None:
+        """Cut the link: current and future transfers raise LinkDownError."""
+        self._up = False
+
+    def restore(self) -> None:
+        """Bring the link back up."""
+        self._up = True
+
+    def one_way_delay(self) -> float:
+        """Sample the propagation delay for one message (with jitter)."""
+        if self.jitter_fraction == 0:
+            return self.latency
+        return self.sim.rng.jitter(
+            f"net.{self.name}", self.latency, self.jitter_fraction)
+
+    def round_trip(self) -> float:
+        """Sample a request/response round-trip delay."""
+        return self.one_way_delay() * 2
+
+    def transfer(self, payload_bytes: int) -> Generator[object, object, float]:
+        """Move ``payload_bytes`` across the link (process generator).
+
+        Returns the total elapsed transfer time.  Serialisation delay is
+        FIFO-serialised across concurrent transfers (one wire); the
+        propagation leg overlaps with other transfers.
+        """
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload: {payload_bytes}")
+        if not self._up:
+            raise LinkDownError(f"{self.name} is down")
+        start = self.sim.now
+        if self.bandwidth is not None and payload_bytes > 0:
+            yield self._serialiser.acquire()
+            try:
+                if not self._up:
+                    raise LinkDownError(f"{self.name} went down mid-transfer")
+                yield self.sim.timeout(payload_bytes / self.bandwidth)
+            finally:
+                self._serialiser.release()
+        delay = self.one_way_delay()
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        if not self._up:
+            raise LinkDownError(f"{self.name} went down mid-transfer")
+        self.bytes_transferred += payload_bytes
+        self.transfer_count += 1
+        return self.sim.now - start
+
+    def __repr__(self) -> str:
+        state = "up" if self._up else "DOWN"
+        return (f"<NetworkLink {self.name!r} {state} "
+                f"latency={self.latency:g}s bw={self.bandwidth}>")
+
+
+class SitePair:
+    """Convenience bundle of the two directed links between two sites."""
+
+    def __init__(self, sim: "Simulator", latency: float,
+                 bandwidth_bytes_per_s: float | None = None,
+                 jitter_fraction: float = 0.0,
+                 name: str = "intersite") -> None:
+        self.forward = NetworkLink(
+            sim, latency, bandwidth_bytes_per_s, jitter_fraction,
+            name=f"{name}.fwd")
+        self.backward = NetworkLink(
+            sim, latency, bandwidth_bytes_per_s, jitter_fraction,
+            name=f"{name}.bwd")
+
+    def fail(self) -> None:
+        """Partition the sites in both directions."""
+        self.forward.fail()
+        self.backward.fail()
+
+    def restore(self) -> None:
+        """Heal the partition."""
+        self.forward.restore()
+        self.backward.restore()
+
+    @property
+    def is_up(self) -> bool:
+        """True when both directions carry traffic."""
+        return self.forward.is_up and self.backward.is_up

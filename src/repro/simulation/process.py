@@ -1,0 +1,160 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  The generator yields *waitables*:
+
+* an :class:`~repro.simulation.events.Event` (including ``Timeout``,
+  ``AllOf``, ``AnyOf``) — the process resumes when it fires;
+* another :class:`Process` — the process resumes when it terminates
+  (join semantics) and receives its return value;
+* ``None`` — yield control for one scheduler step at the current time.
+
+``return value`` inside the generator sets the process result, delivered
+to joiners and readable via :attr:`Process.result` after termination.
+
+Processes can be interrupted: :meth:`interrupt` raises
+:class:`~repro.errors.Interrupted` inside the generator at its current
+wait point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.errors import Interrupted, ProcessError
+from repro.simulation.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Simulator
+
+_process_ids = itertools.count(1)
+
+ProcessGenerator = Generator[object, object, object]
+
+
+class Process:
+    """A running simulation process.
+
+    Do not instantiate directly; use :meth:`Simulator.spawn`.
+    """
+
+    __slots__ = ("sim", "name", "process_id", "_generator", "_terminated",
+                 "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                f"spawn() needs a generator, got {type(generator).__name__};"
+                " did you forget to call the generator function?")
+        self.sim = sim
+        self.process_id = next(_process_ids)
+        self.name = name or f"process-{self.process_id}"
+        self._generator = generator
+        self._terminated: Event = Event(sim, name=f"{self.name}.terminated")
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: list[Interrupted] = []
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True until the generator returns or raises."""
+        return self._terminated.pending
+
+    @property
+    def result(self) -> object:
+        """The generator's return value; raises if still alive or failed."""
+        value = self._terminated.value
+        if not self._terminated.ok:
+            raise value  # type: ignore[misc]
+        return value
+
+    def join(self) -> Event:
+        """Event that fires (with the result) when this process ends.
+
+        Yield the process itself for the same effect; ``join()`` exists for
+        combining with :class:`AllOf`/:class:`AnyOf`.
+        """
+        return self._terminated
+
+    # -- control ---------------------------------------------------------
+
+    def interrupt(self, cause: object = None) -> None:
+        """Raise :class:`Interrupted` inside the process at its wait point.
+
+        Interrupting a dead process is an error; interrupting a process
+        that has not started yet delivers the interrupt at its first wait.
+        """
+        if not self.alive:
+            raise ProcessError(f"cannot interrupt dead {self!r}")
+        self._interrupts.append(Interrupted(cause))
+        self.sim._schedule_resume(self, None)
+
+    # -- kernel interface --------------------------------------------------
+
+    def _step(self, fired: Optional[Event]) -> None:
+        """Advance the generator by one yield.  Called only by the kernel."""
+        if not self.alive:
+            return
+        # Ignore stale wakeups: if we are waiting on event X and get a
+        # resume for event Y (e.g. an AnyOf child that lost the race after
+        # an interrupt re-armed the wait), drop it.
+        if fired is not None and fired is not self._waiting_on:
+            return
+        if fired is None and not self._interrupts and self._waiting_on is not None:
+            return
+        self._waiting_on = None
+        try:
+            if self._interrupts:
+                interrupt = self._interrupts.pop(0)
+                target = self._generator.throw(interrupt)
+            elif fired is None:
+                target = self._generator.send(None)
+            elif fired.ok:
+                target = self._generator.send(fired.value)
+            else:
+                target = self._generator.throw(fired.value)  # type: ignore[arg-type]
+        except StopIteration as stop:
+            self._terminated.succeed(stop.value)
+            return
+        except Interrupted as exc:
+            # An un-caught interrupt terminates the process "normally"
+            # with the interrupt as its failure.
+            self._terminated.fail(exc)
+            return
+        except Exception as exc:  # noqa: BLE001 - propagate to joiners
+            if not self.sim.capture_process_errors:
+                raise
+            self._terminated.fail(exc)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: object) -> None:
+        if target is None:
+            # Bare yield: resume in the same timestep after queued events.
+            self.sim._schedule_resume(self, None)
+            return
+        if isinstance(target, Process):
+            target = target.join()
+        if not isinstance(target, Event):
+            self._generator.close()
+            self._terminated.fail(ProcessError(
+                f"{self!r} yielded {target!r}; processes may only yield "
+                "events, processes, or None"))
+            return
+        if target.sim is not self.sim:
+            self._terminated.fail(ProcessError(
+                f"{self!r} waited on {target!r} from another simulator"))
+            return
+        self._waiting_on = target
+        process = self
+
+        def _resume(event: Event) -> None:
+            process._step(event)
+
+        target.add_callback(_resume)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"<Process#{self.process_id} {self.name!r} {state}>"

@@ -1,0 +1,45 @@
+"""Optional scheduling trace for debugging and test assertions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced kernel action."""
+
+    time: float
+    action: str
+    detail: dict
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:10.6f}] {self.action} {fields}"
+
+
+@dataclass
+class TraceLog:
+    """Append-only log of kernel actions; enabled via ``Simulator(trace=True)``."""
+
+    sim: "Simulator"
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def record(self, action: str, **detail) -> None:
+        """Append one record stamped with the current simulation time."""
+        self.records.append(TraceRecord(self.sim.now, action, detail))
+
+    def matching(self, action: str) -> Iterator[TraceRecord]:
+        """Iterate records with the given action label."""
+        return (r for r in self.records if r.action == action)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self) -> str:
+        """Human-readable rendering of the whole trace."""
+        return "\n".join(str(r) for r in self.records)

@@ -1,0 +1,63 @@
+"""Simulated enterprise storage array (the paper's external storage system).
+
+Public surface:
+
+* :class:`StorageArray`, :class:`ArrayConfig` — the array command facade;
+* :class:`Volume`, :class:`VolumeRole`, :class:`MediaProfile` — volumes;
+* :class:`StoragePool` — capacity pools;
+* :class:`JournalVolume`, :class:`JournalEntry` — ADC journals;
+* :class:`JournalGroup`, :class:`AdcConfig` — asynchronous data copy
+  pipelines (a consistency group = several pairs in one journal group);
+* :class:`SyncMirror`, :class:`SdcConfig` — the synchronous baseline;
+* :class:`ReplicationPair`, :class:`PairState`, :class:`CopyMode` —
+  pair lifecycle;
+* :class:`Snapshot`, :class:`SnapshotGroup`, :class:`SnapshotView` —
+  copy-on-write snapshots;
+* :class:`WriteHistory`, :class:`WriteRecord` — ack-order ground truth;
+* :class:`LatencyRecorder`, :class:`LatencySummary`, :class:`Counter`,
+  :class:`GaugeSeries`, :func:`percentile` — measurement.
+"""
+
+from repro.storage.adc import AdcConfig, JournalGroup
+from repro.storage.array import ArrayConfig, AuditRecord, StorageArray
+from repro.storage.history import WriteHistory, WriteRecord
+from repro.storage.journal import JournalEntry, JournalVolume
+from repro.storage.metrics import (Counter, GaugeSeries, LatencyRecorder,
+                                   LatencySummary, percentile)
+from repro.storage.pool import StoragePool
+from repro.storage.replication import CopyMode, PairState, ReplicationPair
+from repro.storage.sdc import SdcConfig, SyncMirror
+from repro.storage.snapshot import Snapshot, SnapshotGroup
+from repro.storage.volume import (BlockValue, MediaProfile, SnapshotView,
+                                  Volume, VolumeRole, VolumeStatus)
+
+__all__ = [
+    "AdcConfig",
+    "ArrayConfig",
+    "AuditRecord",
+    "BlockValue",
+    "CopyMode",
+    "Counter",
+    "GaugeSeries",
+    "JournalEntry",
+    "JournalGroup",
+    "JournalVolume",
+    "LatencyRecorder",
+    "LatencySummary",
+    "MediaProfile",
+    "PairState",
+    "ReplicationPair",
+    "SdcConfig",
+    "Snapshot",
+    "SnapshotGroup",
+    "SnapshotView",
+    "StorageArray",
+    "StoragePool",
+    "SyncMirror",
+    "Volume",
+    "VolumeRole",
+    "VolumeStatus",
+    "WriteHistory",
+    "WriteRecord",
+    "percentile",
+]

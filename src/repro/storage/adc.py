@@ -1,0 +1,431 @@
+"""Asynchronous data copy: journal groups (the ADC of §III-A1).
+
+A :class:`JournalGroup` is one shared journal pipeline between a main
+array and a backup array:
+
+* the **append** side runs inside the host-write path: after the local
+  block write, the update is appended to the main journal volume and the
+  write is acknowledged — the host never waits for the network;
+* the **transfer** process wakes periodically (with jitter, so distinct
+  groups drift apart exactly like independent links in a real system),
+  ships a batch of entries over the inter-site link, and ingests them
+  into the backup journal volume;
+* the **restore** process applies ingested entries to the secondary
+  volumes *in sequence order*, pausing at entry boundaries whenever the
+  restore gate is closed (snapshot-group quiesce).
+
+A **consistency group** is nothing more than several pairs sharing one
+journal group: one sequence counter ⇒ the backup cut is a prefix of the
+main site's ack order across every member volume.  "ADC without a
+consistency group" — the configuration the paper warns collapses backup
+data — is modelled by giving each pair its own journal group, whose
+transfer loops drift independently.
+
+Failure handling mirrors a real array: journal overflow or a persistently
+down link suspends the pairs (``PSUE``); writes then continue *without
+protection* and are tracked as dirty blocks so a later ``resync`` can
+re-establish the mirror.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from repro.errors import ReplicationError
+from repro.simulation.network import LinkDownError, NetworkLink
+from repro.simulation.resources import Gate
+from repro.storage.journal import JournalEntry, JournalFullError, JournalVolume
+from repro.storage.metrics import Counter, GaugeSeries
+from repro.storage.replication import PairState, ReplicationPair
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Simulator
+    from repro.storage.volume import Volume
+
+
+@dataclass(frozen=True)
+class AdcConfig:
+    """Tuning knobs of the asynchronous copy pipeline.
+
+    ``transfer_interval``/``restore_interval`` are the wake-up periods of
+    the two background loops; ``interval_jitter`` desynchronises loops of
+    different journal groups (the physical cause of backup-data collapse
+    without a consistency group).  E7 sweeps ``transfer_interval``; E8
+    sweeps the number of pairs per group.
+    """
+
+    transfer_interval: float = 0.005
+    transfer_batch: int = 512
+    restore_interval: float = 0.002
+    restore_batch: int = 512
+    interval_jitter: float = 0.5
+    #: journal appends land in array cache; far cheaper than media writes
+    journal_append_latency: float = 0.00005
+    #: in-flight restore applies per window.  1 = strictly serial (every
+    #: instant is a prefix of the journal order); >1 overlaps media
+    #: writes of *non-conflicting* blocks — the prefix property then
+    #: holds at window boundaries, which is where quiesce/snapshot
+    #: operations synchronise anyway.  Real arrays restore with internal
+    #: parallelism like this; E8 sweeps the knob.
+    restore_concurrency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.transfer_interval <= 0 or self.restore_interval <= 0:
+            raise ValueError("intervals must be > 0")
+        if self.transfer_batch < 1 or self.restore_batch < 1:
+            raise ValueError("batch sizes must be >= 1")
+        if self.restore_concurrency < 1:
+            raise ValueError("restore_concurrency must be >= 1")
+        if not 0 <= self.interval_jitter < 1:
+            raise ValueError("interval_jitter must be in [0, 1)")
+        if self.journal_append_latency < 0:
+            raise ValueError("journal_append_latency must be >= 0")
+
+
+class JournalGroup:
+    """One ADC pipeline: shared journal, transfer loop, restore loop."""
+
+    def __init__(self, sim: "Simulator", group_id: str,
+                 main_journal: JournalVolume,
+                 backup_journal: JournalVolume,
+                 link: NetworkLink,
+                 config: Optional[AdcConfig] = None) -> None:
+        self.sim = sim
+        self.group_id = group_id
+        self.main_journal = main_journal
+        self.backup_journal = backup_journal
+        self.link = link
+        self.config = config or AdcConfig()
+        self.pairs: Dict[str, ReplicationPair] = {}
+        self._pairs_by_pvol: Dict[int, ReplicationPair] = {}
+        self._svol_by_pvol: Dict[int, "Volume"] = {}
+        #: highest sequence ingested into the backup journal
+        self.transferred_sequence = -1
+        #: highest sequence applied to secondary volumes
+        self.restored_sequence = -1
+        #: pauses the restore loop at entry boundaries (snapshot quiesce)
+        self.restore_gate = Gate(sim, open_=True,
+                                 name=f"jg-{group_id}.restore-gate")
+        self.suspended = False
+        self.suspend_reason = ""
+        #: True while the restore loop is mid-apply (snapshot quiesce
+        #: waits for this to clear after closing the gate)
+        self.applying = False
+        self._running = False
+        self._transfer_enabled = True
+        self._procs = []
+        # -- observability ---------------------------------------------------
+        self.lag_entries = GaugeSeries(name=f"jg-{group_id}.lag-entries")
+        self.lag_seconds = GaugeSeries(name=f"jg-{group_id}.lag-seconds")
+        self.transferred_count = Counter(name=f"jg-{group_id}.transferred")
+        self.restored_count = Counter(name=f"jg-{group_id}.restored")
+        self.suspensions = Counter(name=f"jg-{group_id}.suspensions")
+
+    # -- pair management ------------------------------------------------------
+
+    def add_pair(self, pair: ReplicationPair) -> None:
+        """Attach a pair and enqueue its initial copy through the journal.
+
+        The initial copy is journaled like ordinary updates (sequence
+        numbers assigned now), so concurrent host writes interleave
+        correctly with it and the S-VOL converges in order.  The pair
+        reports ``COPY`` until the restore pipeline passes the watermark.
+        """
+        if pair.pair_id in self.pairs:
+            raise ReplicationError(
+                f"group {self.group_id}: duplicate pair {pair.pair_id}")
+        if pair.pvol.volume_id in self._pairs_by_pvol:
+            raise ReplicationError(
+                f"group {self.group_id}: volume {pair.pvol.volume_id} "
+                "already paired")
+        self.pairs[pair.pair_id] = pair
+        self._pairs_by_pvol[pair.pvol.volume_id] = pair
+        self._svol_by_pvol[pair.pvol.volume_id] = pair.svol
+        watermark = -1
+        for block, value in sorted(pair.pvol.block_map().items()):
+            entry = self._append_entry(
+                pair.pvol.volume_id, block, value.payload, value.version)
+            if entry is not None:
+                watermark = entry.sequence
+        pair.copy_watermark = watermark
+        if watermark < 0:
+            pair.initial_copy_done = True
+
+    def remove_pair(self, pair_id: str) -> ReplicationPair:
+        """Detach a pair (pair deletion); returns it."""
+        pair = self.pairs.pop(pair_id, None)
+        if pair is None:
+            raise ReplicationError(
+                f"group {self.group_id}: unknown pair {pair_id}")
+        del self._pairs_by_pvol[pair.pvol.volume_id]
+        del self._svol_by_pvol[pair.pvol.volume_id]
+        return pair
+
+    def pair_for_pvol(self, volume_id: int) -> Optional[ReplicationPair]:
+        """The pair whose primary is ``volume_id``, if any."""
+        return self._pairs_by_pvol.get(volume_id)
+
+    @property
+    def member_pvol_ids(self) -> List[int]:
+        """Primary volume ids of all member pairs."""
+        return sorted(self._pairs_by_pvol)
+
+    # -- host-write side -------------------------------------------------------
+
+    def journal_append(self, volume_id: int, block: int, payload: bytes,
+                       version: int) -> Generator[object, object, bool]:
+        """Append one host write to the main journal (host-write path).
+
+        Returns True when the write is protected (journaled), False when
+        the group is suspended and the write was only marked dirty.  The
+        small journal-append latency is the *entire* replication cost the
+        host pays — this is the paper's "no system slowdown" mechanism.
+        """
+        if self.config.journal_append_latency > 0:
+            yield self.sim.timeout(self.config.journal_append_latency)
+        entry = self._append_entry(volume_id, block, payload, version)
+        return entry is not None
+
+    def _append_entry(self, volume_id: int, block: int, payload: bytes,
+                      version: int) -> Optional[JournalEntry]:
+        pair = self._pairs_by_pvol.get(volume_id)
+        if self.suspended:
+            if pair is not None:
+                pair.mark_dirty(volume_id, block)
+            return None
+        try:
+            return self.main_journal.append(
+                volume_id, block, payload, version, self.sim.now)
+        except JournalFullError:
+            self._suspend(PairState.PSUE, "main journal full")
+            if pair is not None:
+                pair.mark_dirty(volume_id, block)
+            return None
+
+    # -- suspension / resync -------------------------------------------------
+
+    def _suspend(self, state: PairState, reason: str) -> None:
+        if self.suspended:
+            return
+        self.suspended = True
+        self.suspend_reason = reason
+        self.suspensions.increment()
+        for pair in self.pairs.values():
+            pair.suspend(state, reason)
+
+    def split(self) -> None:
+        """Operator-initiated suspension (PSUS): stop propagating."""
+        self._suspend(PairState.PSUS, "split by operator")
+
+    def resync(self) -> Generator[object, object, None]:
+        """Re-establish the mirror after a suspension.
+
+        Re-journals every dirty block's *current* content; once the
+        backlog restores, the pairs return to PAIR.  Process generator —
+        completes when the dirty delta has been journaled (not yet
+        restored).
+        """
+        if not self.suspended:
+            return
+        if not self.link.is_up:
+            raise ReplicationError(
+                f"group {self.group_id}: cannot resync while link is down")
+        self.suspended = False
+        self.suspend_reason = ""
+        for pair in self.pairs.values():
+            for volume_id, block in sorted(pair.take_dirty()):
+                value = pair.pvol.peek(block)
+                if value is None:
+                    continue
+                if self.config.journal_append_latency > 0:
+                    yield self.sim.timeout(self.config.journal_append_latency)
+                entry = self._append_entry(
+                    volume_id, block, value.payload, value.version)
+                if entry is None:
+                    return  # suspended again (journal refilled)
+            pair.clear_suspension()
+
+    # -- background pipeline ------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the transfer and restore processes (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._procs.append(self.sim.spawn(
+            self._transfer_loop(), name=f"jg-{self.group_id}.transfer"))
+        self._procs.append(self.sim.spawn(
+            self._restore_loop(), name=f"jg-{self.group_id}.restore"))
+
+    def stop(self) -> None:
+        """Stop both loops at their next wake-up."""
+        self._running = False
+
+    def stop_transfer(self) -> None:
+        """Stop only the transfer side (main-site disaster): the restore
+        loop keeps draining what already reached the backup journal."""
+        self._transfer_enabled = False
+
+    def _jittered(self, base: float, stream: str) -> float:
+        if self.config.interval_jitter == 0:
+            return base
+        return self.sim.rng.jitter(
+            f"jg.{self.group_id}.{stream}", base, self.config.interval_jitter)
+
+    def _transfer_loop(self) -> Generator[object, object, None]:
+        while self._running:
+            yield self.sim.timeout(
+                self._jittered(self.config.transfer_interval, "transfer"))
+            if not self._running:
+                return
+            if not self._transfer_enabled:
+                return
+            if self.suspended or not self.link.is_up:
+                continue
+            batch = self.main_journal.peek_batch(self.config.transfer_batch) \
+                if len(self.main_journal) else []
+            if not batch:
+                self._sample_lag()
+                continue
+            payload_bytes = sum(entry.size_bytes for entry in batch)
+            try:
+                yield from self.link.transfer(payload_bytes)
+            except LinkDownError:
+                continue  # entries stay journaled; retried next wake-up
+            try:
+                for entry in batch:
+                    self.backup_journal.ingest(entry)
+            except JournalFullError:
+                self._suspend(PairState.PSUE, "backup journal full")
+                continue
+            self.main_journal.pop_through(batch[-1].sequence)
+            self.transferred_sequence = batch[-1].sequence
+            self.transferred_count.increment(len(batch))
+            self._sample_lag()
+
+    def _restore_loop(self) -> Generator[object, object, None]:
+        while self._running:
+            yield self.sim.timeout(
+                self._jittered(self.config.restore_interval, "restore"))
+            if not self._running:
+                return
+            applied = 0
+            while applied < self.config.restore_batch:
+                if not self._running:
+                    return
+                gate_wait = self.restore_gate.wait()
+                if gate_wait.pending:
+                    yield gate_wait
+                window = self._pick_restore_window(
+                    self.config.restore_batch - applied)
+                if not window:
+                    break
+                self.applying = True
+                try:
+                    if len(window) == 1:
+                        yield from self._apply_entry(window[0])
+                    else:
+                        # overlap media writes of non-conflicting blocks;
+                        # the window completes atomically w.r.t. quiesce
+                        joins = [self.sim.spawn(
+                            self._apply_entry(entry),
+                            name=f"jg-{self.group_id}.apply").join()
+                            for entry in window]
+                        yield self.sim.all_of(joins)
+                    self.backup_journal.pop_through(window[-1].sequence)
+                    self.restored_sequence = window[-1].sequence
+                finally:
+                    self.applying = False
+                self.restored_count.increment(len(window))
+                self._update_copy_states()
+                applied += len(window)
+
+    def _pick_restore_window(self, limit: int) -> List[JournalEntry]:
+        """Contiguous journal entries safe to apply concurrently.
+
+        The window extends while entries touch distinct (volume, block)
+        addresses, so per-block ordering is preserved even though the
+        media writes overlap.  Window size is additionally capped by
+        ``restore_concurrency`` and the remaining batch budget.
+        """
+        if not len(self.backup_journal):
+            return []
+        cap = min(self.config.restore_concurrency, max(limit, 1))
+        candidates = self.backup_journal.peek_batch(cap)
+        window: List[JournalEntry] = []
+        touched = set()
+        for entry in candidates:
+            address = (entry.volume_id, entry.block)
+            if address in touched:
+                break
+            touched.add(address)
+            window.append(entry)
+        return window
+
+    def _apply_entry(self, entry: JournalEntry,
+                     ) -> Generator[object, object, None]:
+        svol = self._svol_by_pvol.get(entry.volume_id)
+        if svol is None:
+            return  # pair deleted while entries were in flight
+        current = svol.peek(entry.block)
+        if current is not None and current.version >= entry.version:
+            return  # already applied (resync overlap)
+        yield from svol.write_block(
+            entry.block, entry.payload, version=entry.version)
+
+    def _update_copy_states(self) -> None:
+        for pair in self.pairs.values():
+            if not pair.initial_copy_done and \
+                    self.restored_sequence >= pair.copy_watermark:
+                pair.initial_copy_done = True
+
+    def _sample_lag(self) -> None:
+        self.lag_entries.sample(self.sim.now, self.entry_lag)
+        oldest = self.main_journal.snapshot_entries()
+        if oldest:
+            self.lag_seconds.sample(
+                self.sim.now, self.sim.now - oldest[0].created_at)
+        else:
+            self.lag_seconds.sample(self.sim.now, 0.0)
+
+    # -- failover support ----------------------------------------------------
+
+    @property
+    def entry_lag(self) -> int:
+        """Journaled-but-not-restored entries (main + backup journals)."""
+        return len(self.main_journal) + len(self.backup_journal)
+
+    def drain(self) -> Generator[object, object, int]:
+        """Failover drain: apply everything already at the backup site.
+
+        Entries still in the *main* journal are lost with the main site;
+        entries in the backup journal are applied in order.  Returns the
+        number of entries applied.  The restore loop must be stopped (or
+        the group suspended) before draining; an in-flight apply is
+        waited out so the drain never races it.
+        """
+        while self.applying:
+            yield self.sim.timeout(0.0001)
+        applied = 0
+        for entry in self.backup_journal.snapshot_entries():
+            yield from self._apply_entry(entry)
+            self.backup_journal.pop_through(entry.sequence)
+            self.restored_sequence = entry.sequence
+            self.restored_count.increment()
+            applied += 1
+        self._update_copy_states()
+        return applied
+
+    def quiesce_restore(self) -> None:
+        """Close the restore gate (snapshot-group preparation)."""
+        self.restore_gate.close()
+
+    def resume_restore(self) -> None:
+        """Reopen the restore gate."""
+        self.restore_gate.open()
+
+    def __repr__(self) -> str:
+        return (f"<JournalGroup {self.group_id!r} pairs={len(self.pairs)} "
+                f"restored={self.restored_sequence} lag={self.entry_lag} "
+                f"{'SUSPENDED ' + self.suspend_reason if self.suspended else 'ok'}>")

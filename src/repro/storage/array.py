@@ -1,0 +1,660 @@
+"""The storage array facade: the simulated Hitachi VSP G370.
+
+:class:`StorageArray` bundles pools, volumes, journal volumes,
+replication engines and snapshots behind a *command API* — the surface
+that hosts (via ``host_read``/``host_write``), CSI plugins, and the demo
+console drive.  Every management command is appended to an audit log so
+experiment E3 can count the operations a human would otherwise perform.
+
+Two arrays form a replication topology by direct object references plus a
+:class:`~repro.simulation.network.NetworkLink`; there is no hidden global
+state, so a test can build any number of sites.
+
+Conventions:
+
+* data-path methods (``host_write``, ``host_read``,
+  ``create_snapshot_group``) are process generators — they take simulated
+  time;
+* management commands (volume/journal/pair creation) are plain methods —
+  they complete instantly but may start background work (initial copy
+  runs through the replication pipelines).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import (ArrayCommandError, ReplicationError, SnapshotError,
+                          StorageError, VolumeError)
+from repro.simulation.kernel import Simulator
+from repro.simulation.network import NetworkLink
+from repro.storage.adc import AdcConfig, JournalGroup
+from repro.storage.history import WriteHistory, WriteRecord
+from repro.storage.journal import JournalVolume
+from repro.storage.metrics import Counter, LatencyRecorder
+from repro.storage.pool import StoragePool
+from repro.storage.replication import CopyMode, PairState, ReplicationPair
+from repro.storage.sdc import SdcConfig, SyncMirror
+from repro.storage.snapshot import Snapshot, SnapshotGroup
+from repro.storage.volume import (BlockValue, MediaProfile, Volume,
+                                  VolumeRole)
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """Array-wide defaults: media latencies and journal sizing."""
+
+    media: MediaProfile = field(default_factory=MediaProfile)
+    block_size_bytes: int = 4096
+    journal_capacity_entries: int = 200_000
+    adc: AdcConfig = field(default_factory=AdcConfig)
+    sdc: SdcConfig = field(default_factory=SdcConfig)
+
+    def with_adc(self, **overrides) -> "ArrayConfig":
+        """Copy of this config with ADC knobs overridden."""
+        return replace(self, adc=replace(self.adc, **overrides))
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One management command recorded in the array's audit log."""
+
+    time: float
+    command: str
+    params: Tuple[Tuple[str, object], ...]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"[{self.time:10.6f}] {self.command}({rendered})"
+
+
+class StorageArray:
+    """One simulated enterprise storage array."""
+
+    def __init__(self, sim: Simulator, serial: str,
+                 config: Optional[ArrayConfig] = None) -> None:
+        self.sim = sim
+        self.serial = serial
+        self.config = config or ArrayConfig()
+        self.failed = False
+        self.history = WriteHistory()
+        self.audit: List[AuditRecord] = []
+        self._pools: Dict[int, StoragePool] = {}
+        self._volumes: Dict[int, Volume] = {}
+        self._journals: Dict[int, JournalVolume] = {}
+        self._snapshots: Dict[int, Snapshot] = {}
+        self._snapshot_groups: Dict[str, SnapshotGroup] = {}
+        self.journal_groups: Dict[str, JournalGroup] = {}
+        self.sync_mirrors: Dict[str, SyncMirror] = {}
+        self._route_by_pvol: Dict[int, object] = {}
+        self._restore_group_by_svol: Dict[int, JournalGroup] = {}
+        self._pool_ids = itertools.count(1)
+        self._volume_ids = itertools.count(100)
+        self._journal_ids = itertools.count(1)
+        self._snapshot_ids = itertools.count(1)
+        # -- metrics ----------------------------------------------------------
+        self.write_latency = LatencyRecorder(name=f"{serial}.host-write")
+        self.read_latency = LatencyRecorder(name=f"{serial}.host-read")
+        self.host_writes = Counter(name=f"{serial}.host-writes")
+        self.host_reads = Counter(name=f"{serial}.host-reads")
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _audit(self, command: str, **params) -> None:
+        self.audit.append(AuditRecord(
+            time=self.sim.now, command=command,
+            params=tuple(sorted(params.items()))))
+
+    def _check_alive(self) -> None:
+        if self.failed:
+            raise StorageError(f"array {self.serial} has failed")
+
+    def _require_volume(self, volume_id: int) -> Volume:
+        volume = self._volumes.get(volume_id)
+        if volume is None:
+            raise VolumeError(
+                f"array {self.serial}: unknown volume {volume_id}")
+        return volume
+
+    def _require_pool(self, pool_id: int) -> StoragePool:
+        pool = self._pools.get(pool_id)
+        if pool is None:
+            raise ArrayCommandError(
+                f"array {self.serial}: unknown pool {pool_id}")
+        return pool
+
+    # ------------------------------------------------------------------
+    # pools and volumes
+    # ------------------------------------------------------------------
+
+    def create_pool(self, capacity_blocks: int, name: str = "") -> StoragePool:
+        """Create a capacity pool."""
+        self._check_alive()
+        pool_id = next(self._pool_ids)
+        pool = StoragePool(pool_id, capacity_blocks,
+                           name=name or f"{self.serial}-pool-{pool_id}")
+        self._pools[pool_id] = pool
+        self._audit("create_pool", pool_id=pool_id,
+                    capacity_blocks=capacity_blocks)
+        return pool
+
+    def create_volume(self, pool_id: int, capacity_blocks: int,
+                      name: str = "") -> Volume:
+        """Allocate a volume from a pool."""
+        self._check_alive()
+        pool = self._require_pool(pool_id)
+        volume_id = next(self._volume_ids)
+        owner = f"volume-{volume_id}"
+        pool.reserve(owner, capacity_blocks)
+        volume = Volume(self.sim, volume_id, capacity_blocks,
+                        self.config.media,
+                        name=name or f"{self.serial}-ldev-{volume_id}")
+        self._volumes[volume_id] = volume
+        self._audit("create_volume", volume_id=volume_id, pool_id=pool_id,
+                    capacity_blocks=capacity_blocks, name=volume.name)
+        return volume
+
+    def delete_volume(self, volume_id: int, pool_id: int) -> None:
+        """Delete an unpaired volume and return its capacity."""
+        self._check_alive()
+        volume = self._require_volume(volume_id)
+        if volume.role is not VolumeRole.SIMPLEX:
+            raise ArrayCommandError(
+                f"volume {volume_id} is {volume.role.value}; delete the "
+                "pair first")
+        if volume.snapshot_count:
+            raise ArrayCommandError(
+                f"volume {volume_id} has live snapshots")
+        self._require_pool(pool_id).release(f"volume-{volume_id}")
+        del self._volumes[volume_id]
+        self._audit("delete_volume", volume_id=volume_id)
+
+    def get_volume(self, volume_id: int) -> Volume:
+        """Look up a volume by id."""
+        return self._require_volume(volume_id)
+
+    def volume_exists(self, volume_id: int) -> bool:
+        """True if the volume id is allocated on this array."""
+        return volume_id in self._volumes
+
+    def list_volumes(self) -> List[Volume]:
+        """All volumes, id order."""
+        return [self._volumes[i] for i in sorted(self._volumes)]
+
+    def volume_handle(self, volume_id: int) -> str:
+        """The stable external handle CSI publishes for a volume."""
+        self._require_volume(volume_id)
+        return f"naa.{self.serial}.{volume_id}"
+
+    def parse_handle(self, handle: str) -> int:
+        """Inverse of :meth:`volume_handle`; validates the serial."""
+        parts = handle.split(".")
+        if len(parts) != 3 or parts[0] != "naa" or parts[1] != self.serial:
+            raise ArrayCommandError(
+                f"array {self.serial}: foreign handle {handle!r}")
+        return int(parts[2])
+
+    # ------------------------------------------------------------------
+    # journals
+    # ------------------------------------------------------------------
+
+    def create_journal(self, pool_id: int,
+                       capacity_entries: Optional[int] = None,
+                       name: str = "") -> JournalVolume:
+        """Create a journal volume (reserves pool capacity 1:1 by entry)."""
+        self._check_alive()
+        pool = self._require_pool(pool_id)
+        capacity = capacity_entries or self.config.journal_capacity_entries
+        journal_id = next(self._journal_ids)
+        pool.reserve(f"journal-{journal_id}", capacity)
+        journal = JournalVolume(
+            journal_id, capacity,
+            name=name or f"{self.serial}-jnl-{journal_id}")
+        self._journals[journal_id] = journal
+        self._audit("create_journal", journal_id=journal_id,
+                    capacity_entries=capacity)
+        return journal
+
+    def get_journal(self, journal_id: int) -> JournalVolume:
+        """Look up a journal volume by id."""
+        journal = self._journals.get(journal_id)
+        if journal is None:
+            raise ArrayCommandError(
+                f"array {self.serial}: unknown journal {journal_id}")
+        return journal
+
+    # ------------------------------------------------------------------
+    # asynchronous replication (ADC)
+    # ------------------------------------------------------------------
+
+    def create_journal_group(self, group_id: str, main_journal_id: int,
+                             remote: "StorageArray",
+                             backup_journal_id: int, link: NetworkLink,
+                             adc_config: Optional[AdcConfig] = None,
+                             ) -> JournalGroup:
+        """Create an ADC pipeline between this (main) array and ``remote``.
+
+        The group is registered on both arrays and its background loops
+        start immediately.
+        """
+        self._check_alive()
+        if group_id in self.journal_groups:
+            raise ReplicationError(
+                f"array {self.serial}: journal group {group_id} exists")
+        group = JournalGroup(
+            self.sim, group_id,
+            main_journal=self.get_journal(main_journal_id),
+            backup_journal=remote.get_journal(backup_journal_id),
+            link=link, config=adc_config or self.config.adc)
+        self.journal_groups[group_id] = group
+        remote.journal_groups[group_id] = group
+        group.start()
+        self._audit("create_journal_group", group_id=group_id,
+                    main_journal=main_journal_id,
+                    backup_journal=backup_journal_id,
+                    remote=remote.serial)
+        return group
+
+    def create_async_pair(self, pair_id: str, group_id: str, pvol_id: int,
+                          remote: "StorageArray",
+                          svol_id: int) -> ReplicationPair:
+        """Pair a local P-VOL with a remote S-VOL inside a journal group.
+
+        Multiple pairs in one group form a consistency group; for the
+        paper's no-consistency-group baseline, create one group per pair.
+        """
+        self._check_alive()
+        group = self.journal_groups.get(group_id)
+        if group is None:
+            raise ReplicationError(
+                f"array {self.serial}: unknown journal group {group_id}")
+        pvol = self._require_volume(pvol_id)
+        svol = remote._require_volume(svol_id)
+        self._check_pairable(pvol, svol)
+        pair = ReplicationPair(
+            pair_id=pair_id, mode=CopyMode.ASYNCHRONOUS, pvol=pvol,
+            svol=svol, created_at=self.sim.now)
+        group.add_pair(pair)
+        pvol.set_role(VolumeRole.PVOL)
+        svol.set_role(VolumeRole.SVOL)
+        self._route_by_pvol[pvol_id] = group
+        remote._restore_group_by_svol[svol_id] = group
+        self._audit("create_async_pair", pair_id=pair_id, group_id=group_id,
+                    pvol=pvol_id, svol=svol_id, remote=remote.serial)
+        return pair
+
+    # ------------------------------------------------------------------
+    # synchronous replication (SDC baseline)
+    # ------------------------------------------------------------------
+
+    def create_sync_mirror(self, mirror_id: str, link: NetworkLink,
+                           sdc_config: Optional[SdcConfig] = None,
+                           ) -> SyncMirror:
+        """Create a synchronous mirror context over ``link``."""
+        self._check_alive()
+        if mirror_id in self.sync_mirrors:
+            raise ReplicationError(
+                f"array {self.serial}: sync mirror {mirror_id} exists")
+        mirror = SyncMirror(self.sim, mirror_id, link,
+                            config=sdc_config or self.config.sdc)
+        self.sync_mirrors[mirror_id] = mirror
+        self._audit("create_sync_mirror", mirror_id=mirror_id)
+        return mirror
+
+    def create_sync_pair(self, pair_id: str, mirror_id: str, pvol_id: int,
+                         remote: "StorageArray",
+                         svol_id: int) -> ReplicationPair:
+        """Pair volumes synchronously; initial copy runs in background."""
+        self._check_alive()
+        mirror = self.sync_mirrors.get(mirror_id)
+        if mirror is None:
+            raise ReplicationError(
+                f"array {self.serial}: unknown sync mirror {mirror_id}")
+        pvol = self._require_volume(pvol_id)
+        svol = remote._require_volume(svol_id)
+        self._check_pairable(pvol, svol)
+        pair = ReplicationPair(
+            pair_id=pair_id, mode=CopyMode.SYNCHRONOUS, pvol=pvol,
+            svol=svol, created_at=self.sim.now)
+        mirror.add_pair(pair)
+        pvol.set_role(VolumeRole.PVOL)
+        svol.set_role(VolumeRole.SVOL)
+        self._route_by_pvol[pvol_id] = mirror
+        self.sim.spawn(mirror.initial_copy(pair_id),
+                       name=f"sdc-initial-copy-{pair_id}")
+        self._audit("create_sync_pair", pair_id=pair_id,
+                    mirror_id=mirror_id, pvol=pvol_id, svol=svol_id,
+                    remote=remote.serial)
+        return pair
+
+    def delete_journal_group(self, group_id: str,
+                             remote: "StorageArray") -> None:
+        """Tear down an empty journal group on both arrays."""
+        self._check_alive()
+        group = self.journal_groups.get(group_id)
+        if group is None:
+            raise ReplicationError(
+                f"array {self.serial}: unknown journal group {group_id}")
+        if group.pairs:
+            raise ReplicationError(
+                f"journal group {group_id} still has {len(group.pairs)} "
+                "pairs")
+        group.stop()
+        group.main_journal.clear()
+        group.backup_journal.clear()
+        del self.journal_groups[group_id]
+        remote.journal_groups.pop(group_id, None)
+        self._audit("delete_journal_group", group_id=group_id)
+
+    def _check_pairable(self, pvol: Volume, svol: Volume) -> None:
+        # A promoted secondary (SSWS) may become the primary of a new
+        # pair — that is exactly what failback's reverse copy does.
+        if pvol.role not in (VolumeRole.SIMPLEX, VolumeRole.SSWS):
+            raise ReplicationError(
+                f"volume {pvol.volume_id} is already {pvol.role.value}")
+        if svol.role is not VolumeRole.SIMPLEX:
+            raise ReplicationError(
+                f"volume {svol.volume_id} is already {svol.role.value}")
+
+    def delete_pair(self, pair_id: str) -> None:
+        """Dissolve a pair: both volumes return to SIMPLEX."""
+        self._check_alive()
+        for group in self.journal_groups.values():
+            if pair_id in group.pairs:
+                pair = group.remove_pair(pair_id)
+                self._finish_pair_delete(pair)
+                self._audit("delete_pair", pair_id=pair_id)
+                return
+        for mirror in self.sync_mirrors.values():
+            if pair_id in mirror.pairs:
+                pair = mirror.remove_pair(pair_id)
+                self._finish_pair_delete(pair)
+                self._audit("delete_pair", pair_id=pair_id)
+                return
+        raise ReplicationError(
+            f"array {self.serial}: unknown pair {pair_id}")
+
+    def _finish_pair_delete(self, pair: ReplicationPair) -> None:
+        pair.pvol.set_role(VolumeRole.SIMPLEX)
+        pair.svol.set_role(VolumeRole.SIMPLEX)
+        self._route_by_pvol.pop(pair.pvol.volume_id, None)
+
+    def find_pair(self, pair_id: str) -> Optional[ReplicationPair]:
+        """Locate a pair by id across all engines (None if absent)."""
+        for group in self.journal_groups.values():
+            if pair_id in group.pairs:
+                return group.pairs[pair_id]
+        for mirror in self.sync_mirrors.values():
+            if pair_id in mirror.pairs:
+                return mirror.pairs[pair_id]
+        return None
+
+    def pair_status(self, pair_id: str) -> PairState:
+        """Pair state query (the surface the replication plugin polls)."""
+        pair = self.find_pair(pair_id)
+        if pair is None:
+            raise ReplicationError(
+                f"array {self.serial}: unknown pair {pair_id}")
+        return pair.state
+
+    # ------------------------------------------------------------------
+    # host I/O
+    # ------------------------------------------------------------------
+
+    def host_write(self, volume_id: int, block: int, payload: bytes,
+                   tag: Optional[str] = None,
+                   ) -> Generator[object, object, WriteRecord]:
+        """One host write: local apply, replication, ack, history record.
+
+        Process generator.  The returned :class:`WriteRecord` carries the
+        global ack sequence — the ground truth consistency checking is
+        built on.
+        """
+        self._check_alive()
+        volume = self._require_volume(volume_id)
+        if not volume.writable_by_host:
+            raise VolumeError(
+                f"volume {volume_id} is {volume.role.value}; host writes "
+                "are rejected")
+        start = self.sim.now
+        version = yield from volume.write_block(block, payload)
+        route = self._route_by_pvol.get(volume_id)
+        if isinstance(route, SyncMirror):
+            yield from route.replicate_write(volume_id, block, payload,
+                                             version)
+        elif isinstance(route, JournalGroup):
+            yield from route.journal_append(volume_id, block, payload,
+                                            version)
+        self._check_alive()  # array may have failed mid-write: no ack
+        record = self.history.append(self.sim.now, volume_id, block,
+                                     version, tag=tag)
+        self.write_latency.record(self.sim.now - start)
+        self.host_writes.increment()
+        return record
+
+    def host_read(self, volume_id: int, block: int,
+                  ) -> Generator[object, object, Optional[bytes]]:
+        """One host read; returns the payload or None (process generator)."""
+        self._check_alive()
+        volume = self._require_volume(volume_id)
+        start = self.sim.now
+        payload = yield from volume.read_block(block)
+        self.read_latency.record(self.sim.now - start)
+        self.host_reads.increment()
+        return payload
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+
+    def create_snapshot(self, volume_id: int, name: str = "") -> Snapshot:
+        """Instant copy-on-write snapshot of one volume (no quiesce)."""
+        self._check_alive()
+        volume = self._require_volume(volume_id)
+        snapshot_id = next(self._snapshot_ids)
+        snapshot = Snapshot(snapshot_id, volume, self.sim.now,
+                            name=name or f"{self.serial}-snap-{snapshot_id}")
+        self._snapshots[snapshot_id] = snapshot
+        self._audit("create_snapshot", snapshot_id=snapshot_id,
+                    volume_id=volume_id)
+        return snapshot
+
+    def create_snapshot_group(self, group_id: str,
+                              volume_ids: Sequence[int],
+                              quiesce: bool = True,
+                              ) -> Generator[object, object, SnapshotGroup]:
+        """Snapshot several volumes at one consistent instant.
+
+        Process generator.  With ``quiesce`` (the snapshot *group*
+        technology of §III-A2) the restore pipelines feeding the target
+        volumes pause at an entry boundary first, so the images form a
+        prefix of the replicated order.  Without it this degenerates to
+        per-volume snapshots taken at one wall-clock instant, which is
+        *not* a consistent cut while restore is running.
+        """
+        self._check_alive()
+        if group_id in self._snapshot_groups:
+            raise SnapshotError(
+                f"array {self.serial}: snapshot group {group_id} exists")
+        if not volume_ids:
+            raise SnapshotError("snapshot group needs at least one volume")
+        volumes = [self._require_volume(vid) for vid in volume_ids]
+        groups: Set[JournalGroup] = {
+            self._restore_group_by_svol[vid]
+            for vid in volume_ids if vid in self._restore_group_by_svol}
+        if quiesce:
+            for journal_group in groups:
+                journal_group.quiesce_restore()
+            while any(journal_group.applying for journal_group in groups):
+                yield self.sim.timeout(self.config.media.write_latency)
+        try:
+            snapshots = []
+            for volume in volumes:
+                snapshot_id = next(self._snapshot_ids)
+                snapshot = Snapshot(
+                    snapshot_id, volume, self.sim.now,
+                    name=f"{self.serial}-snap-{snapshot_id}")
+                if quiesce:
+                    restore_group = self._restore_group_by_svol.get(
+                        volume.volume_id)
+                    if restore_group is not None:
+                        snapshot.group_sequence = \
+                            restore_group.restored_sequence
+                self._snapshots[snapshot_id] = snapshot
+                snapshots.append(snapshot)
+        finally:
+            if quiesce:
+                for journal_group in groups:
+                    journal_group.resume_restore()
+        group = SnapshotGroup(group_id=group_id, created_at=self.sim.now,
+                              snapshots=snapshots, quiesced=quiesce)
+        self._snapshot_groups[group_id] = group
+        self._audit("create_snapshot_group", group_id=group_id,
+                    volume_ids=tuple(volume_ids), quiesce=quiesce)
+        return group
+
+    def get_snapshot(self, snapshot_id: int) -> Snapshot:
+        """Look up a snapshot by id."""
+        snapshot = self._snapshots.get(snapshot_id)
+        if snapshot is None:
+            raise SnapshotError(
+                f"array {self.serial}: unknown snapshot {snapshot_id}")
+        return snapshot
+
+    def get_snapshot_group(self, group_id: str) -> SnapshotGroup:
+        """Look up a snapshot group by id."""
+        group = self._snapshot_groups.get(group_id)
+        if group is None:
+            raise SnapshotError(
+                f"array {self.serial}: unknown snapshot group {group_id}")
+        return group
+
+    def clone_snapshot(self, snapshot_id: int, pool_id: int,
+                       name: str = "") -> Volume:
+        """Materialise a snapshot into a new full, independent volume.
+
+        The clone holds the snapshot view's *current* image (overlay
+        included) with its original block versions, so consistency
+        checking against history keeps working on clones.  Modelled as
+        an instant flash-copy; the capacity is reserved from ``pool_id``
+        up front like any volume.
+        """
+        self._check_alive()
+        snapshot = self.get_snapshot(snapshot_id)
+        clone = self.create_volume(
+            pool_id, snapshot.base.capacity_blocks,
+            name=name or f"{snapshot.name}-clone")
+        max_version = 0
+        for block, payload in snapshot.image_blocks().items():
+            version = snapshot.version_of(block)
+            clone._blocks[block] = BlockValue(bytes(payload), version)
+            max_version = max(max_version, version)
+        clone._version_counter = max_version
+        self._audit("clone_snapshot", snapshot_id=snapshot_id,
+                    clone_id=clone.volume_id)
+        return clone
+
+    def clone_snapshot_group(self, group_id: str, pool_id: int,
+                             ) -> Dict[int, Volume]:
+        """Clone every member of a snapshot group.
+
+        Returns base volume id → clone, the point-in-time restore
+        primitive: mount the clones and recover the databases at the
+        generation's instant.
+        """
+        self._check_alive()
+        group = self.get_snapshot_group(group_id)
+        clones: Dict[int, Volume] = {}
+        for snapshot in group.snapshots:
+            clones[snapshot.base.volume_id] = self.clone_snapshot(
+                snapshot.snapshot_id, pool_id,
+                name=f"{group_id}-{snapshot.base.volume_id}-clone")
+        return clones
+
+    def delete_snapshot(self, snapshot_id: int) -> None:
+        """Delete a snapshot, releasing its COW store."""
+        self._check_alive()
+        self.get_snapshot(snapshot_id).delete()
+        del self._snapshots[snapshot_id]
+        self._audit("delete_snapshot", snapshot_id=snapshot_id)
+
+    def delete_snapshot_group(self, group_id: str) -> None:
+        """Delete a snapshot group and every member snapshot."""
+        self._check_alive()
+        group = self.get_snapshot_group(group_id)
+        for snapshot in group.snapshots:
+            if snapshot.snapshot_id in self._snapshots:
+                del self._snapshots[snapshot.snapshot_id]
+            snapshot.delete()
+        del self._snapshot_groups[group_id]
+        self._audit("delete_snapshot_group", group_id=group_id)
+
+    # ------------------------------------------------------------------
+    # failure / failover
+    # ------------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Disaster: the array stops serving I/O and its pipelines halt.
+
+        Journal groups whose *main* journal lives here stop transferring;
+        restore loops at the surviving backup array keep draining what
+        already arrived (the paper's DR model: data in the backup
+        journal survives, data still in the main journal is lost).
+        """
+        self.failed = True
+        local_journals = set(self._journals.values())
+        for group in self.journal_groups.values():
+            if group.main_journal in local_journals:
+                group.stop_transfer()
+
+    def repair(self) -> None:
+        """Bring a failed array back online (post-disaster repair).
+
+        Volumes and configuration survive (the hardware was replaced /
+        repaired, the media kept its last state); replication pipelines
+        do NOT restart automatically — failback re-establishes them
+        explicitly in the reverse direction first.
+        """
+        self.failed = False
+        self._audit("repair")
+
+    def format_volume(self, volume_id: int) -> None:
+        """Erase a volume's contents for use as a copy target.
+
+        Failback support: the old primary's stale data (including acked
+        writes that never reached the backup) must not shadow the
+        reverse initial copy.  Only unpaired volumes can be formatted.
+        """
+        self._check_alive()
+        volume = self._require_volume(volume_id)
+        if volume.role is not VolumeRole.SIMPLEX:
+            raise ArrayCommandError(
+                f"volume {volume_id} is {volume.role.value}; unpair it "
+                "before formatting")
+        volume._blocks.clear()
+        volume._version_counter = 0
+        self._audit("format_volume", volume_id=volume_id)
+
+    def promote_secondary(self, volume_id: int) -> None:
+        """Failover: make a local S-VOL host-writable (SSWS)."""
+        volume = self._require_volume(volume_id)
+        if volume.role is not VolumeRole.SVOL:
+            raise ReplicationError(
+                f"volume {volume_id} is {volume.role.value}, not an S-VOL")
+        volume.set_role(VolumeRole.SSWS)
+        group = self._restore_group_by_svol.get(volume_id)
+        if group is not None:
+            for pair in group.pairs.values():
+                if pair.svol.volume_id == volume_id:
+                    pair.promote()
+        self._audit("promote_secondary", volume_id=volume_id)
+
+    def __repr__(self) -> str:
+        state = "FAILED" if self.failed else "ok"
+        return (f"<StorageArray {self.serial!r} {state} "
+                f"volumes={len(self._volumes)} "
+                f"groups={len(self.journal_groups)}>")

@@ -1,0 +1,87 @@
+"""The global write history: ground truth for consistency checking.
+
+The paper's recovery argument (§I) rests on one property of enterprise
+storage: *the order of acknowledgements defines the order of data
+updates*, and a backup is usable iff it corresponds to a prefix of that
+order.  :class:`WriteHistory` records every **acknowledged** host write on
+an array, in ack order, with a monotone sequence number.
+
+The consistency checker (``repro.recovery.checker``) later compares a
+backup image against this history: the image is *consistent* iff the set
+of writes it contains is downward-closed under the history order
+(restricted to the volume group under test).  This module only records;
+it never influences the data path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One acknowledged host write.
+
+    ``version`` is the per-volume monotone version the write installed in
+    ``block`` — the pair (volume_id, version) uniquely identifies a write,
+    which is how backup block maps are matched back to history records.
+    """
+
+    seq: int
+    time: float
+    volume_id: int
+    block: int
+    version: int
+    tag: Optional[str] = None
+
+    def __str__(self) -> str:
+        label = f" tag={self.tag}" if self.tag else ""
+        return (f"#{self.seq} t={self.time:.6f} vol={self.volume_id} "
+                f"block={self.block} v{self.version}{label}")
+
+
+class WriteHistory:
+    """Append-only ack-ordered log of host writes on one array."""
+
+    def __init__(self) -> None:
+        self._records: List[WriteRecord] = []
+        self._by_volume: Dict[int, List[WriteRecord]] = {}
+        # (volume_id, version) -> record, for backup image matching
+        self._by_version: Dict[Tuple[int, int], WriteRecord] = {}
+
+    def append(self, time: float, volume_id: int, block: int, version: int,
+               tag: Optional[str] = None) -> WriteRecord:
+        """Record an acked write; returns the record with its ack seq."""
+        record = WriteRecord(
+            seq=len(self._records), time=time, volume_id=volume_id,
+            block=block, version=version, tag=tag)
+        self._records.append(record)
+        self._by_volume.setdefault(volume_id, []).append(record)
+        self._by_version[(volume_id, version)] = record
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Tuple[WriteRecord, ...]:
+        """Immutable snapshot of the full history."""
+        return tuple(self._records)
+
+    def for_volume(self, volume_id: int) -> List[WriteRecord]:
+        """History restricted to one volume (ack order preserved)."""
+        return list(self._by_volume.get(volume_id, []))
+
+    def restricted(self, volume_ids: Iterable[int]) -> List[WriteRecord]:
+        """History restricted to a volume group (ack order preserved)."""
+        wanted = set(volume_ids)
+        return [r for r in self._records if r.volume_id in wanted]
+
+    def lookup(self, volume_id: int, version: int) -> Optional[WriteRecord]:
+        """The record that installed ``version`` on ``volume_id``, if acked."""
+        return self._by_version.get((volume_id, version))
+
+    def last_seq(self) -> int:
+        """Sequence of the newest record; -1 when empty."""
+        return len(self._records) - 1

@@ -1,0 +1,146 @@
+"""Journal volumes for asynchronous data copy.
+
+The ADC (§III-A1 of the paper) stores update logs in a *journal volume*
+at the main site, ships them to the journal volume at the backup site,
+and applies ("restores") them to the secondary volumes **in sequence
+order**.  The journal's monotone sequence number is what turns a set of
+volumes sharing one journal into a *consistency group*: the restore order
+at the backup equals the ack order at the main site.
+
+:class:`JournalVolume` is a bounded FIFO of :class:`JournalEntry` with a
+per-journal sequence counter.  Overflow (host writing faster than the
+link drains, or the link being down) is reported to the owner, which
+suspends the pair — mirroring how a real array drops to PSUE when a
+journal fills.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One journaled host write.
+
+    ``sequence`` orders entries within one journal; ``version`` is the
+    per-volume version installed by the write (used when applying to the
+    secondary so block maps stay comparable).
+    """
+
+    sequence: int
+    volume_id: int
+    block: int
+    payload: bytes
+    version: int
+    created_at: float
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: payload plus a fixed 64-byte header."""
+        return len(self.payload) + 64
+
+
+class JournalFullError(Exception):
+    """Raised by :meth:`JournalVolume.append` when no capacity remains.
+
+    Deliberately not part of the public error hierarchy: the ADC engine
+    always catches it and converts it into a pair suspension; user code
+    should never see it.
+    """
+
+
+class JournalVolume:
+    """Bounded FIFO of journal entries with a monotone sequence counter."""
+
+    def __init__(self, journal_id: int, capacity_entries: int,
+                 name: str = "") -> None:
+        if capacity_entries < 1:
+            raise ValueError(
+                f"journal capacity must be >= 1 entry: {capacity_entries}")
+        self.journal_id = journal_id
+        self.name = name or f"journal-{journal_id}"
+        self.capacity_entries = capacity_entries
+        self._entries: Deque[JournalEntry] = deque()
+        self._next_sequence = 0
+        #: highest sequence ever appended (-1 when none)
+        self.head_sequence = -1
+        #: peak occupancy, for capacity-planning experiments
+        self.peak_entries = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free_entries(self) -> int:
+        """Remaining capacity in entries."""
+        return self.capacity_entries - len(self._entries)
+
+    def append(self, volume_id: int, block: int, payload: bytes,
+               version: int, time: float) -> JournalEntry:
+        """Append a new entry, assigning the next sequence number.
+
+        Raises :class:`JournalFullError` when at capacity; the sequence
+        counter is *not* consumed in that case.
+        """
+        if len(self._entries) >= self.capacity_entries:
+            raise JournalFullError(
+                f"{self.name} full ({self.capacity_entries} entries)")
+        entry = JournalEntry(
+            sequence=self._next_sequence, volume_id=volume_id, block=block,
+            payload=bytes(payload), version=version, created_at=time)
+        self._next_sequence += 1
+        self.head_sequence = entry.sequence
+        self._entries.append(entry)
+        self.peak_entries = max(self.peak_entries, len(self._entries))
+        return entry
+
+    def ingest(self, entry: JournalEntry) -> None:
+        """Accept a transferred entry at the backup site.
+
+        Entries must arrive in sequence order (the transfer process ships
+        them FIFO over one link); gaps indicate a programming error.
+        """
+        if self._entries and entry.sequence <= self._entries[-1].sequence:
+            raise ValueError(
+                f"{self.name}: out-of-order ingest "
+                f"seq={entry.sequence} after {self._entries[-1].sequence}")
+        if len(self._entries) >= self.capacity_entries:
+            raise JournalFullError(f"{self.name} full on ingest")
+        self._entries.append(entry)
+        self.head_sequence = entry.sequence
+        self.peak_entries = max(self.peak_entries, len(self._entries))
+
+    def peek_batch(self, limit: int) -> List[JournalEntry]:
+        """The oldest ``limit`` entries without removing them."""
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1: {limit}")
+        return [self._entries[i]
+                for i in range(min(limit, len(self._entries)))]
+
+    def pop_through(self, sequence: int) -> List[JournalEntry]:
+        """Remove and return all entries with ``sequence <=`` the given
+        sequence (journal trim after successful transfer/restore)."""
+        removed: List[JournalEntry] = []
+        while self._entries and self._entries[0].sequence <= sequence:
+            removed.append(self._entries.popleft())
+        return removed
+
+    def oldest_sequence(self) -> Optional[int]:
+        """Sequence of the oldest retained entry, or None when empty."""
+        return self._entries[0].sequence if self._entries else None
+
+    def snapshot_entries(self) -> List[JournalEntry]:
+        """Copy of all retained entries (failover drain / tests)."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every retained entry (pair deletion)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (f"<JournalVolume {self.name!r} "
+                f"{len(self._entries)}/{self.capacity_entries} "
+                f"head={self.head_sequence}>")

@@ -1,0 +1,195 @@
+"""Synchronous data copy: the baseline the paper's §V compares against.
+
+A :class:`SyncMirror` propagates each host write to the secondary volume
+*before* the acknowledgement: the host pays the full inter-site round
+trip on every write.  This gives zero data loss (every acked write exists
+at the backup) at the price of the "system slowdown" the paper's ADC is
+designed to remove — experiment E1 measures exactly that trade-off.
+
+Writes of one mirror are FIFO-ordered over the link, so a multi-pair
+synchronous configuration is automatically order-preserving (the ack is
+the apply); no consistency-group machinery is needed, matching how real
+synchronous replication behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from repro.errors import ReplicationError
+from repro.simulation.network import LinkDownError, NetworkLink
+from repro.simulation.resources import Lock
+from repro.storage.metrics import Counter
+from repro.storage.replication import PairState, ReplicationPair
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class SdcConfig:
+    """Tuning knobs of the synchronous mirror.
+
+    ``fence_level`` follows array convention: ``"never"`` keeps accepting
+    (unprotected, dirty-tracked) host writes when the link fails, which
+    is what production systems choose to avoid a replication outage
+    becoming a business outage.
+    """
+
+    block_size_bytes: int = 4096
+    fence_level: str = "never"
+
+    def __post_init__(self) -> None:
+        if self.block_size_bytes < 1:
+            raise ValueError("block_size_bytes must be >= 1")
+        if self.fence_level not in ("never", "data"):
+            raise ValueError(
+                f"fence_level must be 'never' or 'data': {self.fence_level}")
+
+
+class SyncMirror:
+    """A set of synchronously mirrored pairs sharing one link."""
+
+    def __init__(self, sim: "Simulator", mirror_id: str, link: NetworkLink,
+                 config: Optional[SdcConfig] = None) -> None:
+        self.sim = sim
+        self.mirror_id = mirror_id
+        self.link = link
+        self.config = config or SdcConfig()
+        self.pairs: Dict[str, ReplicationPair] = {}
+        self._pairs_by_pvol: Dict[int, ReplicationPair] = {}
+        # One in-flight remote write at a time per pair keeps the apply
+        # order at the secondary equal to the ack order at the primary.
+        self._pair_locks: Dict[str, Lock] = {}
+        self.replicated_writes = Counter(name=f"sdc-{mirror_id}.writes")
+        self.suspensions = Counter(name=f"sdc-{mirror_id}.suspensions")
+
+    # -- pair management ------------------------------------------------------
+
+    def add_pair(self, pair: ReplicationPair) -> None:
+        """Attach a pair. Initial copy runs via :meth:`initial_copy`."""
+        if pair.pair_id in self.pairs:
+            raise ReplicationError(
+                f"mirror {self.mirror_id}: duplicate pair {pair.pair_id}")
+        if pair.pvol.volume_id in self._pairs_by_pvol:
+            raise ReplicationError(
+                f"mirror {self.mirror_id}: volume {pair.pvol.volume_id} "
+                "already paired")
+        self.pairs[pair.pair_id] = pair
+        self._pairs_by_pvol[pair.pvol.volume_id] = pair
+        self._pair_locks[pair.pair_id] = Lock(
+            self.sim, name=f"sdc-{pair.pair_id}")
+
+    def remove_pair(self, pair_id: str) -> ReplicationPair:
+        """Detach a pair; returns it."""
+        pair = self.pairs.pop(pair_id, None)
+        if pair is None:
+            raise ReplicationError(
+                f"mirror {self.mirror_id}: unknown pair {pair_id}")
+        del self._pairs_by_pvol[pair.pvol.volume_id]
+        del self._pair_locks[pair_id]
+        return pair
+
+    def pair_for_pvol(self, volume_id: int) -> Optional[ReplicationPair]:
+        """The pair whose primary is ``volume_id``, if any."""
+        return self._pairs_by_pvol.get(volume_id)
+
+    @property
+    def member_pvol_ids(self) -> List[int]:
+        """Primary volume ids of all member pairs."""
+        return sorted(self._pairs_by_pvol)
+
+    # -- data path ----------------------------------------------------------
+
+    def initial_copy(self, pair_id: str) -> Generator[object, object, None]:
+        """Copy the current P-VOL content to the S-VOL over the link.
+
+        Process generator; the pair reports COPY until it completes.
+        """
+        pair = self._require_pair(pair_id)
+        for block, value in sorted(pair.pvol.block_map().items()):
+            yield from self.link.transfer(self.config.block_size_bytes)
+            current = pair.svol.peek(block)
+            if current is not None and current.version >= value.version:
+                continue
+            yield from pair.svol.write_block(
+                block, value.payload, version=value.version)
+        pair.initial_copy_done = True
+
+    def replicate_write(self, volume_id: int, block: int, payload: bytes,
+                        version: int) -> Generator[object, object, bool]:
+        """Propagate one host write to the secondary before the ack.
+
+        Called from the host-write path after the local apply.  Returns
+        True when the write reached the secondary, False when the mirror
+        is suspended (fence level "never") and the write is only
+        dirty-tracked.  With fence level "data" a link failure raises.
+        """
+        pair = self._pairs_by_pvol.get(volume_id)
+        if pair is None:
+            raise ReplicationError(
+                f"mirror {self.mirror_id}: volume {volume_id} not paired")
+        if pair.suspended_state is not None:
+            pair.mark_dirty(volume_id, block)
+            return False
+        lock = self._pair_locks[pair.pair_id]
+        yield lock.acquire()
+        try:
+            yield from self.link.transfer(self.config.block_size_bytes)
+            yield from pair.svol.write_block(
+                block, payload, version=version)
+            # The completion status travels back before the host ack.
+            ack_delay = self.link.one_way_delay()
+            if ack_delay > 0:
+                yield self.sim.timeout(ack_delay)
+        except LinkDownError:
+            if self.config.fence_level == "data":
+                raise
+            pair.suspend(PairState.PSUE, "link down")
+            pair.mark_dirty(volume_id, block)
+            self.suspensions.increment()
+            return False
+        finally:
+            lock.release()
+        self.replicated_writes.increment()
+        return True
+
+    # -- suspension / resync -------------------------------------------------
+
+    def split(self) -> None:
+        """Operator-initiated suspension of every pair (PSUS)."""
+        for pair in self.pairs.values():
+            if pair.suspended_state is None:
+                pair.suspend(PairState.PSUS, "split by operator")
+
+    def resync(self) -> Generator[object, object, None]:
+        """Copy dirty blocks to the secondaries and clear suspensions."""
+        if not self.link.is_up:
+            raise ReplicationError(
+                f"mirror {self.mirror_id}: cannot resync while link is down")
+        for pair in self.pairs.values():
+            if pair.suspended_state is None:
+                continue
+            for _volume_id, block in sorted(pair.take_dirty()):
+                value = pair.pvol.peek(block)
+                if value is None:
+                    continue
+                yield from self.link.transfer(self.config.block_size_bytes)
+                current = pair.svol.peek(block)
+                if current is not None and current.version >= value.version:
+                    continue
+                yield from pair.svol.write_block(
+                    block, value.payload, version=value.version)
+            pair.clear_suspension()
+
+    def _require_pair(self, pair_id: str) -> ReplicationPair:
+        pair = self.pairs.get(pair_id)
+        if pair is None:
+            raise ReplicationError(
+                f"mirror {self.mirror_id}: unknown pair {pair_id}")
+        return pair
+
+    def __repr__(self) -> str:
+        return (f"<SyncMirror {self.mirror_id!r} pairs={len(self.pairs)} "
+                f"writes={self.replicated_writes.value}>")

@@ -1,0 +1,38 @@
+"""Shared fixtures for MiniDB and application tests."""
+
+import pytest
+
+from repro.apps.minidb import MemoryBlockDevice, MiniDB
+from repro.simulation import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=51)
+
+
+def make_db(sim, name="db", wal_blocks=4096, bucket_count=8):
+    return MiniDB(sim, name,
+                  wal_device=MemoryBlockDevice(wal_blocks),
+                  data_device=MemoryBlockDevice(max(bucket_count, 64)),
+                  bucket_count=bucket_count)
+
+
+@pytest.fixture()
+def db(sim):
+    return make_db(sim)
+
+
+def run(sim, generator, timeout=None):
+    return sim.run_until_complete(sim.spawn(generator), timeout=timeout)
+
+
+def put_commit(sim, db, items):
+    """Commit a batch of key/value pairs in one transaction."""
+    def proc(sim):
+        txn = db.begin()
+        for key, value in items.items():
+            yield from db.put(txn, key, value)
+        yield from db.commit(txn)
+
+    run(sim, proc(sim))

@@ -1,0 +1,102 @@
+"""Tests for multi-item (basket) orders: atomicity, lock ordering,
+recovery compatibility."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.apps import CatalogItem, EcommerceApp, build_report
+from repro.apps.ecommerce import decode_business_state
+from repro.recovery import check_business_invariants
+from tests.apps.conftest import make_db, run
+
+
+@pytest.fixture()
+def app(sim):
+    sales = make_db(sim, "sales", wal_blocks=8192)
+    stock = make_db(sim, "stock", wal_blocks=8192)
+    catalog = [CatalogItem("widget", 100, 10.0),
+               CatalogItem("gadget", 50, 25.0),
+               CatalogItem("gizmo", 10, 99.0)]
+    app = EcommerceApp(sales, stock, catalog)
+    run(sim, app.seed())
+    return app
+
+
+def business_of(app):
+    sales_state = {}
+    stock_state = {}
+    for page in app.sales_db._cache.values():
+        sales_state.update(page.data)
+    for page in app.stock_db._cache.values():
+        stock_state.update(page.data)
+    return decode_business_state(sales_state, stock_state)
+
+
+class TestBasketOrders:
+    def test_basket_commits_every_line_atomically(self, sim, app):
+        result = run(sim, app.place_basket_order(
+            [("widget", 2), ("gadget", 1)]))
+        assert result.accepted
+        assert run(sim, app.stock_db.read("qty:widget")) == "98"
+        assert run(sim, app.stock_db.read("qty:gadget")) == "49"
+        business = business_of(app)
+        order = business.orders[result.gtid]
+        assert order["lines"] == [{"item": "gadget", "qty": 1},
+                                  {"item": "widget", "qty": 2}]
+        assert order["amount"] == pytest.approx(2 * 10.0 + 25.0)
+
+    def test_one_short_line_aborts_the_whole_basket(self, sim, app):
+        result = run(sim, app.place_basket_order(
+            [("widget", 1), ("gizmo", 11)]))  # gizmo has only 10
+        assert not result.accepted
+        assert result.reason == "insufficient stock"
+        assert run(sim, app.stock_db.read("qty:widget")) == "100"
+        assert run(sim, app.stock_db.read("qty:gizmo")) == "10"
+
+    def test_duplicate_lines_are_merged(self, sim, app):
+        result = run(sim, app.place_basket_order(
+            [("widget", 2), ("widget", 3)]))
+        assert result.accepted
+        assert run(sim, app.stock_db.read("qty:widget")) == "95"
+
+    def test_unknown_item_rejected(self, sim, app):
+        result = run(sim, app.place_basket_order([("nope", 1)]))
+        assert not result.accepted
+        assert result.reason == "unknown item"
+
+    def test_validation(self, sim, app):
+        with pytest.raises(DatabaseError):
+            run(sim, app.place_basket_order([]))
+        with pytest.raises(DatabaseError):
+            run(sim, app.place_basket_order([("widget", 0)]))
+
+    def test_concurrent_baskets_are_deadlock_free(self, sim, app):
+        """Baskets touching overlapping items in different caller orders
+        must not deadlock (sorted lock acquisition)."""
+        done = []
+
+        def buyer(sim, lines, tag):
+            for _ in range(10):
+                yield from app.place_basket_order(lines)
+            done.append(tag)
+
+        sim.spawn(buyer(sim, [("widget", 1), ("gadget", 1)], "a"))
+        sim.spawn(buyer(sim, [("gadget", 1), ("widget", 1)], "b"))
+        sim.run(until=60.0)
+        assert sorted(done) == ["a", "b"]
+        assert run(sim, app.stock_db.read("qty:widget")) == "80"
+        assert run(sim, app.stock_db.read("qty:gadget")) == "30"
+
+    def test_mixed_single_and_basket_orders_stay_consistent(self, sim,
+                                                            app):
+        run(sim, app.place_order("widget", 1))
+        run(sim, app.place_basket_order([("widget", 2), ("gadget", 4)]))
+        business = business_of(app)
+        report = check_business_invariants(
+            business, list(app.catalog.values()))
+        assert report.consistent
+        analytics = build_report(business)
+        assert analytics.order_count == 2
+        assert analytics.units_sold == {"widget": 3, "gadget": 4}
+        assert analytics.total_revenue == pytest.approx(
+            1 * 10.0 + 2 * 10.0 + 4 * 25.0)

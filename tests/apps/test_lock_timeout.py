@@ -1,0 +1,104 @@
+"""Tests for the lock-timeout safety net (deadlock -> abortable error)."""
+
+import pytest
+
+from repro.errors import DatabaseError, TransactionError
+from repro.apps.minidb import MemoryBlockDevice, MiniDB
+from repro.simulation import Simulator
+from tests.apps.conftest import run
+
+
+def timed_db(sim, timeout=0.5):
+    return MiniDB(sim, "db", wal_device=MemoryBlockDevice(1024),
+                  data_device=MemoryBlockDevice(64), bucket_count=4,
+                  lock_timeout=timeout)
+
+
+class TestLockTimeout:
+    def test_waiting_past_timeout_raises(self):
+        sim = Simulator(seed=1)
+        db = timed_db(sim, timeout=0.5)
+        outcome = {}
+
+        def holder(sim):
+            txn = db.begin("holder")
+            yield from db.put(txn, "hot", "v")
+            yield sim.timeout(5.0)  # hold the lock far too long
+            yield from db.commit(txn)
+
+        def waiter(sim):
+            txn = db.begin("waiter")
+            try:
+                yield from db.put(txn, "hot", "w")
+            except TransactionError as exc:
+                outcome["error"] = str(exc)
+                outcome["at"] = sim.now
+                db.abort(txn)
+
+        sim.spawn(holder(sim))
+        sim.spawn(waiter(sim))
+        sim.run()
+        assert "possible deadlock" in outcome["error"]
+        assert outcome["at"] == pytest.approx(0.5)
+        assert db.locks.timeout_count == 1
+        # the holder was unaffected and committed
+        assert run(sim, db.read("hot")) == "v"
+
+    def test_grant_before_timeout_proceeds(self):
+        sim = Simulator(seed=2)
+        db = timed_db(sim, timeout=5.0)
+
+        def holder(sim):
+            txn = db.begin("holder")
+            yield from db.put(txn, "hot", "v1")
+            yield sim.timeout(0.2)
+            yield from db.commit(txn)
+
+        def waiter(sim):
+            txn = db.begin("waiter")
+            yield from db.put(txn, "hot", "v2")
+            yield from db.commit(txn)
+
+        sim.spawn(holder(sim))
+        sim.spawn(waiter(sim))
+        sim.run()
+        assert run(sim, db.read("hot")) == "v2"
+        assert db.locks.timeout_count == 0
+
+    def test_true_deadlock_is_broken_by_timeout(self):
+        """Two transactions acquiring in opposite orders deadlock; the
+        timeout converts the hang into aborts and the system survives."""
+        sim = Simulator(seed=3)
+        db = timed_db(sim, timeout=0.3)
+        survived = []
+
+        def worker(sim, tag, first, second):
+            txn = db.begin(tag)
+            try:
+                yield from db.put(txn, first, tag)
+                yield sim.timeout(0.1)  # guarantee lock overlap
+                yield from db.put(txn, second, tag)
+                yield from db.commit(txn)
+                survived.append(tag)
+            except TransactionError:
+                db.abort(txn)
+
+        sim.spawn(worker(sim, "ab", "a", "b"))
+        sim.spawn(worker(sim, "ba", "b", "a"))
+        sim.run(until=10.0)
+        # at least one side aborted; nothing hangs; locks are free
+        assert db.locks.timeout_count >= 1
+
+        def probe(sim):
+            txn = db.begin("probe")
+            yield from db.put(txn, "a", "p")
+            yield from db.put(txn, "b", "p")
+            yield from db.commit(txn)
+
+        run(sim, probe(sim))
+        assert run(sim, db.read("a")) == "p"
+
+    def test_validation(self):
+        sim = Simulator(seed=4)
+        with pytest.raises(DatabaseError):
+            timed_db(sim, timeout=0)

@@ -1,0 +1,41 @@
+"""Shared fixtures for CSI tests: a wired two-site system."""
+
+import pytest
+
+from repro.platform import PersistentVolumeClaim
+from repro.scenarios import DEFAULT_STORAGE_CLASS, SystemConfig, build_system
+from repro.simulation import Simulator
+from repro.storage import AdcConfig, ArrayConfig
+
+
+def fast_system_config(**overrides) -> SystemConfig:
+    """System config with tight loops and small latencies for tests."""
+    adc = AdcConfig(transfer_interval=0.001, transfer_batch=1024,
+                    restore_interval=0.001, restore_batch=1024,
+                    interval_jitter=0.0)
+    params = dict(link_latency=0.002,
+                  array=ArrayConfig(adc=adc),
+                  command_latency=0.010)
+    params.update(overrides)
+    return SystemConfig(**params)
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=31)
+
+
+@pytest.fixture()
+def system(sim):
+    return build_system(sim, fast_system_config())
+
+
+def create_pvc(cluster, namespace, name, capacity=128,
+               storage_class=DEFAULT_STORAGE_CLASS, labels=None):
+    pvc = PersistentVolumeClaim()
+    pvc.meta.name = name
+    pvc.meta.namespace = namespace
+    pvc.meta.labels = dict(labels or {})
+    pvc.spec.storage_class = storage_class
+    pvc.spec.capacity_blocks = capacity
+    return cluster.api.create(pvc)

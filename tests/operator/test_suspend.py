@@ -1,0 +1,101 @@
+"""End-to-end tests of the SuspendCopyToCloud maintenance tag."""
+
+import pytest
+
+from repro.apps import issue_orders
+from repro.csi import ConsistencyGroupReplication, STATE_PAIRED
+from repro.operator import (ANNOTATION_STATE, NS_STATE_PROTECTED,
+                            NS_STATE_SUSPENDED, TAG_CONSISTENT, TAG_KEY,
+                            TAG_SUSPEND, install_namespace_operator)
+from repro.platform import Namespace
+from repro.scenarios import BusinessConfig, build_system, \
+    deploy_business_process
+from repro.simulation import Simulator
+from repro.storage import PairState
+from tests.csi.conftest import fast_system_config
+
+
+@pytest.fixture()
+def protected():
+    sim = Simulator(seed=190)
+    system = build_system(sim, fast_system_config())
+    install_namespace_operator(system.main.cluster)
+    business = deploy_business_process(
+        system, BusinessConfig(wal_blocks=30_000))
+    system.main.console.tag_namespace(business.namespace, TAG_KEY,
+                                      TAG_CONSISTENT)
+    sim.run(until=sim.now + 4.0)
+    return sim, system, business
+
+
+def group_of(system, business):
+    return system.main.array.journal_groups[
+        f"jg-{business.namespace}-nso-{business.namespace}"]
+
+
+class TestSuspendResume:
+    def test_suspend_tag_splits_the_pairs(self, protected):
+        sim, system, business = protected
+        system.main.console.tag_namespace(business.namespace, TAG_KEY,
+                                          TAG_SUSPEND)
+        sim.run(until=sim.now + 3.0)
+        group = group_of(system, business)
+        assert group.suspended
+        assert {pair.state for pair in group.pairs.values()} == \
+            {PairState.PSUS}
+        ns = system.main.api.get(Namespace, business.namespace)
+        assert ns.meta.annotations[ANNOTATION_STATE] == \
+            NS_STATE_SUSPENDED
+
+    def test_writes_continue_unprotected_while_suspended(self, protected):
+        sim, system, business = protected
+        system.main.console.tag_namespace(business.namespace, TAG_KEY,
+                                          TAG_SUSPEND)
+        sim.run(until=sim.now + 3.0)
+        results = issue_orders(sim, business.app, 10,
+                               rng_stream="suspended")
+        assert all(r.accepted for r in results)
+        group = group_of(system, business)
+        dirty = sum(len(pair.dirty_blocks)
+                    for pair in group.pairs.values())
+        assert dirty > 0
+
+    def test_resume_resynchronises_and_converges(self, protected):
+        sim, system, business = protected
+        system.main.console.tag_namespace(business.namespace, TAG_KEY,
+                                          TAG_SUSPEND)
+        sim.run(until=sim.now + 3.0)
+        issue_orders(sim, business.app, 10, rng_stream="during")
+        system.main.console.tag_namespace(business.namespace, TAG_KEY,
+                                          TAG_CONSISTENT)
+        sim.run(until=sim.now + 5.0)
+        group = group_of(system, business)
+        assert not group.suspended
+        assert {pair.state for pair in group.pairs.values()} == \
+            {PairState.PAIR}
+        ns = system.main.api.get(Namespace, business.namespace)
+        assert ns.meta.annotations[ANNOTATION_STATE] == \
+            NS_STATE_PROTECTED
+        # the dirty delta reached the backup
+        for pair in group.pairs.values():
+            assert pair.svol.block_map() == pair.pvol.block_map()
+        cr = system.main.api.get(ConsistencyGroupReplication,
+                                 f"nso-{business.namespace}",
+                                 business.namespace)
+        assert cr.status.state == STATE_PAIRED
+        assert not cr.spec.suspended
+
+    def test_suspend_without_protection_reports(self):
+        sim = Simulator(seed=191)
+        system = build_system(sim, fast_system_config())
+        install_namespace_operator(system.main.cluster)
+        system.main.cluster.create_namespace("bare")
+        system.main.console.tag_namespace("bare", TAG_KEY, TAG_SUSPEND)
+        sim.run(until=sim.now + 2.0)
+        ns = system.main.api.get(Namespace, "bare")
+        assert ns.meta.annotations[ANNOTATION_STATE] == \
+            NS_STATE_SUSPENDED
+        assert "not protected" in ns.meta.annotations[
+            "backup.hitachi.com/message"]
+        assert system.main.api.try_get(
+            ConsistencyGroupReplication, "nso-bare", "bare") is None

@@ -1,0 +1,49 @@
+"""Shared fixtures for container-platform tests."""
+
+import pytest
+
+from repro.platform import ApiServer, Cluster
+from repro.simulation import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=21)
+
+
+@pytest.fixture()
+def api(sim):
+    return ApiServer(sim, cluster_name="test")
+
+
+@pytest.fixture()
+def cluster(sim):
+    return Cluster(sim, name="site-a")
+
+
+def make_namespace(name, labels=None):
+    from repro.platform import Namespace
+    ns = Namespace()
+    ns.meta.name = name
+    ns.meta.labels = dict(labels or {})
+    return ns
+
+
+def make_pvc(namespace, name, storage_class="fast", capacity=64):
+    from repro.platform import PersistentVolumeClaim
+    pvc = PersistentVolumeClaim()
+    pvc.meta.name = name
+    pvc.meta.namespace = namespace
+    pvc.spec.storage_class = storage_class
+    pvc.spec.capacity_blocks = capacity
+    return pvc
+
+
+def make_pod(namespace, name, pvc_names=(), image="app:1"):
+    from repro.platform import Pod
+    pod = Pod()
+    pod.meta.name = name
+    pod.meta.namespace = namespace
+    pod.spec.image = image
+    pod.spec.pvc_names = list(pvc_names)
+    return pod

@@ -1,0 +1,139 @@
+"""Unit tests for the controller runtime: queues, retries, requeues."""
+
+import pytest
+
+from repro.platform import (ApiServer, BackoffPolicy, Controller,
+                            Namespace, Reconciler, Requeue)
+from tests.platform.conftest import make_namespace
+
+
+class RecordingReconciler(Reconciler):
+    """Counts reconciles per key; configurable failures and requeues."""
+
+    kind = Namespace
+
+    def __init__(self, fail_times=0, requeue_after=None, work_delay=0.0):
+        self.calls = []
+        self.fail_times = fail_times
+        self.requeue_after = requeue_after
+        self.work_delay = work_delay
+        self._failures = 0
+
+    def reconcile(self, api, key):
+        self.calls.append((api.sim.now, key.name))
+        if self.work_delay:
+            yield api.sim.timeout(self.work_delay)
+        if self._failures < self.fail_times:
+            self._failures += 1
+            raise RuntimeError("transient failure")
+        if self.requeue_after is not None and len(self.calls) < 3:
+            return Requeue(after=self.requeue_after)
+        return None
+
+
+class TestController:
+    def test_create_triggers_reconcile(self, sim, api):
+        reconciler = RecordingReconciler()
+        Controller(sim, api, reconciler).start()
+        api.create(make_namespace("shop"))
+        sim.run(until=1.0)
+        assert [name for _t, name in reconciler.calls] == ["shop"]
+
+    def test_update_triggers_reconcile_again(self, sim, api):
+        reconciler = RecordingReconciler()
+        Controller(sim, api, reconciler).start()
+        api.create(make_namespace("shop"))
+        sim.run(until=0.5)
+        ns = api.get(Namespace, "shop")
+        ns.meta.labels["k"] = "v"
+        api.update(ns)
+        sim.run(until=1.0)
+        assert len(reconciler.calls) == 2
+
+    def test_failures_are_retried_with_backoff(self, sim, api):
+        reconciler = RecordingReconciler(fail_times=2)
+        controller = Controller(sim, api, reconciler,
+                                backoff=BackoffPolicy(initial=0.010))
+        controller.start()
+        api.create(make_namespace("shop"))
+        sim.run(until=2.0)
+        assert len(reconciler.calls) == 3
+        assert controller.error_count == 2
+        # backoff spacing: second retry waits longer than the first
+        gap1 = reconciler.calls[1][0] - reconciler.calls[0][0]
+        gap2 = reconciler.calls[2][0] - reconciler.calls[1][0]
+        assert gap2 > gap1
+
+    def test_requeue_after_schedules_future_reconcile(self, sim, api):
+        reconciler = RecordingReconciler(requeue_after=0.100)
+        Controller(sim, api, reconciler).start()
+        api.create(make_namespace("shop"))
+        sim.run(until=1.0)
+        assert len(reconciler.calls) == 3
+        assert reconciler.calls[1][0] - reconciler.calls[0][0] == \
+            pytest.approx(0.100, abs=0.01)
+
+    def test_queue_coalesces_duplicate_keys(self, sim, api):
+        reconciler = RecordingReconciler(work_delay=0.050)
+        controller = Controller(sim, api, reconciler)
+        controller.start()
+        api.create(make_namespace("shop"))
+        sim.run(until=0.010)  # worker is busy inside the first reconcile
+        ns = api.get(Namespace, "shop")
+        for i in range(5):
+            ns.meta.labels["k"] = str(i)
+            ns = api.update(ns)
+        sim.run(until=2.0)
+        # 1 initial + 1 coalesced batch of the five updates
+        assert len(reconciler.calls) <= 3
+
+    def test_backoff_policy_delays(self):
+        policy = BackoffPolicy(initial=0.01, factor=2.0, maximum=0.05)
+        assert policy.delay(1) == pytest.approx(0.01)
+        assert policy.delay(2) == pytest.approx(0.02)
+        assert policy.delay(10) == pytest.approx(0.05)
+        with pytest.raises(ValueError):
+            policy.delay(0)
+
+    def test_requeue_validation(self):
+        with pytest.raises(ValueError):
+            Requeue(after=-1)
+
+    def test_stop_halts_processing(self, sim, api):
+        reconciler = RecordingReconciler()
+        controller = Controller(sim, api, reconciler)
+        controller.start()
+        api.create(make_namespace("one"))
+        sim.run(until=0.5)
+        controller.stop()
+        api.create(make_namespace("two"))
+        sim.run(until=1.0)
+        assert [name for _t, name in reconciler.calls] == ["one"]
+
+
+class TestScheduler:
+    def test_pod_runs_once_pvcs_bound(self, sim, cluster):
+        from tests.platform.conftest import make_pod, make_pvc
+        from repro.platform import PersistentVolumeClaim, Pod
+        cluster.start()
+        cluster.create_namespace("shop")
+        pvc = make_pvc("shop", "data")
+        cluster.api.create(pvc)
+        cluster.api.create(make_pod("shop", "app", pvc_names=["data"]))
+        sim.run(until=0.5)
+        assert cluster.api.get(Pod, "app", "shop").status.phase == "Pending"
+        stored = cluster.api.get(PersistentVolumeClaim, "data", "shop")
+        stored.spec.volume_name = "pv-1"
+        stored.status.phase = "Bound"
+        cluster.api.update(stored)
+        sim.run(until=1.5)
+        assert cluster.api.get(Pod, "app", "shop").status.phase == "Running"
+
+    def test_pod_without_pvcs_runs_immediately(self, sim, cluster):
+        from tests.platform.conftest import make_pod
+        from repro.platform import Pod
+        cluster.start()
+        cluster.create_namespace("shop")
+        cluster.api.create(make_pod("shop", "web"))
+        sim.run(until=0.5)
+        assert cluster.api.get(Pod, "web", "shop").status.phase == "Running"

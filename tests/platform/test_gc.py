@@ -1,0 +1,98 @@
+"""Tests for namespace garbage collection (Terminating semantics)."""
+
+import pytest
+
+from repro.csi import ConsistencyGroupReplication
+from repro.operator import TAG_CONSISTENT, TAG_KEY, \
+    install_namespace_operator
+from repro.platform import (GC_FINALIZER, Namespace, PersistentVolume,
+                            PersistentVolumeClaim, Pod,
+                            install_namespace_gc)
+from repro.scenarios import BusinessConfig, build_system, \
+    deploy_business_process
+from repro.simulation import Simulator
+from tests.csi.conftest import fast_system_config
+from tests.platform.conftest import make_pod, make_pvc
+
+
+class TestNamespaceGc:
+    def test_gc_finalizer_added_to_live_namespace(self, sim, cluster):
+        install_namespace_gc(cluster)
+        cluster.start()
+        cluster.create_namespace("shop")
+        sim.run(until=0.5)
+        ns = cluster.api.get(Namespace, "shop")
+        assert GC_FINALIZER in ns.meta.finalizers
+
+    def test_delete_cascades_to_contents(self, sim, cluster):
+        install_namespace_gc(cluster)
+        cluster.start()
+        cluster.create_namespace("shop")
+        cluster.api.create(make_pvc("shop", "data"))
+        cluster.api.create(make_pod("shop", "app"))
+        sim.run(until=0.5)
+        cluster.api.delete(Namespace, "shop")
+        sim.run(until=2.0)
+        assert cluster.api.try_get(Namespace, "shop") is None
+        assert cluster.api.list(Pod, namespace="shop") == []
+        assert cluster.api.list(PersistentVolumeClaim,
+                                namespace="shop") == []
+
+    def test_namespace_goes_terminating_first(self, sim, cluster):
+        install_namespace_gc(cluster)
+        cluster.start()
+        cluster.create_namespace("shop")
+        pvc = make_pvc("shop", "data")
+        pvc.meta.finalizers = ["hold/me"]  # delays the sweep
+        cluster.api.create(pvc)
+        sim.run(until=0.5)
+        cluster.api.delete(Namespace, "shop")
+        sim.run(until=0.5)
+        ns = cluster.api.get(Namespace, "shop")
+        assert ns.phase == "Terminating"
+        # releasing the held claim completes the namespace deletion
+        cluster.api.remove_finalizer(PersistentVolumeClaim, "data",
+                                     "shop", "hold/me")
+        sim.run(until=2.0)
+        assert cluster.api.try_get(Namespace, "shop") is None
+
+    def test_empty_namespace_deletes_quickly(self, sim, cluster):
+        install_namespace_gc(cluster)
+        cluster.start()
+        cluster.create_namespace("empty")
+        sim.run(until=0.5)
+        cluster.api.delete(Namespace, "empty")
+        sim.run(until=1.0)
+        assert cluster.api.try_get(Namespace, "empty") is None
+
+
+class TestFullTeardownCascade:
+    def test_namespace_delete_unwinds_protection(self):
+        """Deleting a protected namespace tears down everything: the CR,
+        the pairs, the journal group and the backup-site PVs."""
+        sim = Simulator(seed=160)
+        system = build_system(sim, fast_system_config())
+        install_namespace_operator(system.main.cluster)
+        install_namespace_gc(
+            system.main.cluster,
+            extra_swept_kinds=(ConsistencyGroupReplication,))
+        business = deploy_business_process(
+            system, BusinessConfig(wal_blocks=20_000))
+        system.main.console.tag_namespace(business.namespace, TAG_KEY,
+                                          TAG_CONSISTENT)
+        sim.run(until=sim.now + 4.0)
+        assert len(system.backup.api.list(PersistentVolume)) == 4
+        system.main.api.delete(Namespace, business.namespace)
+        sim.run(until=sim.now + 6.0)
+        assert system.main.api.try_get(
+            Namespace, business.namespace) is None
+        assert system.main.api.try_get(
+            ConsistencyGroupReplication,
+            f"nso-{business.namespace}", business.namespace) is None
+        assert system.main.array.find_pair(
+            f"{business.namespace}/nso-{business.namespace}/sales-wal"
+        ) is None
+        assert system.backup.api.list(PersistentVolume) == []
+        assert not any(
+            group_id.startswith("jg-")
+            for group_id in system.main.array.journal_groups)

@@ -1,0 +1,149 @@
+"""Failure-injection tests: link flaps, journal exhaustion, and
+suspension/resync under live business load."""
+
+import pytest
+
+from repro.apps import BackgroundLoad, issue_orders
+from repro.csi.crds import ConsistencyGroupReplication
+from repro.operator import TAG_CONSISTENT, TAG_KEY, \
+    install_namespace_operator
+from repro.recovery import fail_and_recover
+from repro.scenarios import BusinessConfig, build_system, \
+    deploy_business_process
+from repro.simulation import Simulator
+from repro.storage import PairState
+from tests.csi.conftest import fast_system_config
+
+
+def protected(seed, adc_overrides=None, wal_blocks=20_000):
+    sim = Simulator(seed=seed)
+    config = fast_system_config()
+    if adc_overrides:
+        config = config.with_adc(**adc_overrides)
+    system = build_system(sim, config)
+    install_namespace_operator(system.main.cluster)
+    business = deploy_business_process(
+        system, BusinessConfig(wal_blocks=wal_blocks))
+    system.main.console.tag_namespace(business.namespace, TAG_KEY,
+                                      TAG_CONSISTENT)
+    sim.run(until=sim.now + 4.0)
+    return sim, system, business
+
+
+def group_of(system, business):
+    return system.main.array.journal_groups[
+        f"jg-{business.namespace}-nso-{business.namespace}"]
+
+
+class TestLinkFlaps:
+    def test_replication_converges_after_repeated_partitions(self):
+        """Orders run through several link outages; once the link heals,
+        the backup catches up completely and stays consistent."""
+        sim, system, business = protected(seed=110)
+        load = BackgroundLoad(sim, business.app, client_count=4)
+        for _ in range(3):
+            sim.run(until=sim.now + 0.10)
+            system.replication_link.fail()
+            sim.run(until=sim.now + 0.10)
+            system.replication_link.restore()
+        sim.run(until=sim.now + 0.10)
+        load.drain()
+        sim.run(until=sim.now + 2.0)  # catch up
+        group = group_of(system, business)
+        assert group.entry_lag == 0
+        promoted = fail_and_recover(system, business)
+        assert promoted.report.business_report.consistent
+        assert promoted.report.lost_committed_orders == 0
+
+    def test_business_never_blocks_during_partition(self):
+        """The ADC promise under failure: a dead replication link does
+        not slow the business down at all."""
+        sim, system, business = protected(seed=111)
+        healthy = issue_orders(sim, business.app, 20,
+                               rng_stream="healthy")
+        system.replication_link.fail()
+        partitioned = issue_orders(sim, business.app, 20,
+                                   rng_stream="partitioned")
+        healthy_mean = sum(r.latency for r in healthy) / len(healthy)
+        partitioned_mean = sum(r.latency for r in partitioned) \
+            / len(partitioned)
+        assert partitioned_mean == pytest.approx(healthy_mean,
+                                                 rel=0.25)
+
+
+class TestJournalExhaustion:
+    def test_overflow_suspends_then_resync_heals(self):
+        """A journal sized too small for a partition overflows; pairs go
+        PSUE, writes continue unprotected (fence never), and a resync
+        after the repair converges the mirror."""
+        sim, system, business = protected(
+            seed=112,
+            adc_overrides=dict(transfer_interval=0.001,
+                               interval_jitter=0.0))
+        group = group_of(system, business)
+        # shrink effective capacity by filling the journal while cut off
+        system.replication_link.fail()
+        # drive writes until the (large) journal would hold them all;
+        # instead force the suspension path directly via a small journal:
+        group.main_journal.capacity_entries = len(group.main_journal) + 50
+        results = issue_orders(sim, business.app, 30,
+                               rng_stream="overflow")
+        assert all(r.accepted for r in results)  # fence level "never"
+        states = {pair.state for pair in group.pairs.values()}
+        assert states == {PairState.PSUE}
+        cr = system.main.api.get(
+            ConsistencyGroupReplication, f"nso-{business.namespace}",
+            business.namespace)
+        # the plugin's status poll surfaces the suspension
+        sim.run(until=sim.now + 2.0)
+        cr = system.main.api.get(
+            ConsistencyGroupReplication, f"nso-{business.namespace}",
+            business.namespace)
+        assert cr.status.state == "Suspended"
+        # repair: restore the link, give the journal room, resync
+        system.replication_link.restore()
+        group.main_journal.capacity_entries += 100_000
+        sim.run_until_complete(sim.spawn(group.resync()))
+        sim.run(until=sim.now + 2.0)
+        assert {pair.state for pair in group.pairs.values()} == \
+            {PairState.PAIR}
+        promoted = fail_and_recover(system, business)
+        assert promoted.report.business_report.consistent
+        assert promoted.report.lost_committed_orders == 0
+
+    def test_wal_exhaustion_is_a_clean_database_error(self):
+        """Undersized WAL volumes fail loudly, not corruptly."""
+        from repro.errors import DatabaseError
+        sim, system, business = protected(seed=113, wal_blocks=120)
+
+        def burn(sim):
+            while True:
+                yield from business.app.place_order("item-000", 1)
+
+        proc = sim.spawn(burn(sim))
+        sim.run(until=sim.now + 5.0)
+        with pytest.raises(DatabaseError):
+            _ = proc.result
+
+
+class TestDisasterDuringTwoPhaseCommit:
+    def test_inflight_transactions_resolve_consistently(self):
+        """Disaster with 2PC transactions mid-protocol: the recovered
+        image resolves every in-doubt branch and stays consistent."""
+        for seed in (120, 121, 122):
+            sim, system, business = protected(
+                seed=seed,
+                adc_overrides=dict(transfer_interval=0.003,
+                                   interval_jitter=0.5))
+            load = BackgroundLoad(sim, business.app, client_count=8)
+            # stop mid-flight: clients are inside place_order right now
+            sim.run(until=sim.now + 0.123)
+            committed = load.committed_gtids
+            promoted = fail_and_recover(system, business,
+                                        expected_committed=committed)
+            report = promoted.report
+            assert report.business_report.consistent
+            # nothing that committed before the journal cut is lost,
+            # nothing uncommitted is resurrected
+            assert report.business_report.order_count <= len(committed) \
+                + 8  # at most the in-flight orders may have landed too

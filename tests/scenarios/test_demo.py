@@ -1,0 +1,73 @@
+"""Integration test of the scripted ICDE demonstration (Figs 2-6)."""
+
+import pytest
+
+from repro.scenarios import run_demo
+from repro.scenarios.builders import SystemConfig
+from repro.scenarios.business import BusinessConfig
+from repro.storage import AdcConfig, ArrayConfig
+
+
+def quick_demo(seed=2025):
+    """The demo with tightened timers so the test stays fast."""
+    adc = AdcConfig(transfer_interval=0.002, transfer_batch=1024,
+                    restore_interval=0.001, restore_batch=1024,
+                    interval_jitter=0.2)
+    return run_demo(
+        seed=seed,
+        system_config=SystemConfig(link_latency=0.002,
+                                   array=ArrayConfig(adc=adc),
+                                   command_latency=0.010),
+        business_config=BusinessConfig(wal_blocks=20_000),
+        analytics_delay=0.2)
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return quick_demo()
+
+
+class TestDemonstration:
+    def test_fig3_to_fig4_pvs_appear_after_tagging(self, demo):
+        assert demo.result.backup_pvs_before == []
+        assert len(demo.result.backup_pvs_after) == 4
+
+    def test_namespace_reaches_protected(self, demo):
+        assert demo.result.namespace_state == "Protected"
+        assert demo.result.configuration_seconds > 0
+
+    def test_fig5_snapshot_group_is_consistent_cut(self, demo):
+        assert demo.result.snapshot_group is not None
+        assert len(demo.result.snapshot_group.snapshots) == 4
+        assert demo.result.snapshot_cut.consistent
+
+    def test_fig6_analytics_report_over_snapshots(self, demo):
+        report = demo.result.analytics
+        assert report is not None
+        assert report.order_count > 0
+        assert report.total_revenue > 0
+        assert report.top_seller() is not None
+        assert report.scan_seconds > 0
+
+    def test_transaction_window_never_stopped(self, demo):
+        """The paper's point: backup + analytics with zero downtime."""
+        assert demo.result.orders_during_demo > 0
+        assert demo.result.orders_after_analytics > 0
+
+    def test_screens_show_single_tag_operation(self, demo):
+        main_screen = demo.result.screens["main"]
+        assert main_screen.count("tag-namespace") == 1
+        backup_screen = demo.result.screens["backup"]
+        assert "create-snapshot-group" in backup_screen
+
+    def test_analytics_matches_a_committed_prefix(self, demo):
+        """The analytics answer corresponds to a prefix of the committed
+        orders — never a torn state."""
+        report = demo.result.analytics
+        committed = demo.business.app.coordinator.committed_gtids
+        assert report.order_count <= len(committed)
+        # revenue must equal the sum over some subset of real orders;
+        # with a consistent prefix it is exactly the first N orders'
+        # revenue for N = report.order_count -- verified indirectly by
+        # the snapshot cut check; here we sanity-check magnitude
+        assert report.order_count >= 1

@@ -1,0 +1,58 @@
+"""Shared fixtures for storage-array tests."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.simulation import NetworkLink, Simulator
+from repro.storage import AdcConfig, ArrayConfig, StorageArray
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=11)
+
+
+def fast_adc(**overrides) -> AdcConfig:
+    """ADC config with tight, jitter-free loops for quick convergence."""
+    params = dict(transfer_interval=0.001, transfer_batch=1024,
+                  restore_interval=0.001, restore_batch=1024,
+                  interval_jitter=0.0)
+    params.update(overrides)
+    return AdcConfig(**params)
+
+
+@dataclass
+class TwoSite:
+    """A main/backup array pair with a link, ready for pairing."""
+
+    sim: Simulator
+    main: StorageArray
+    backup: StorageArray
+    link: NetworkLink
+    main_pool_id: int
+    backup_pool_id: int
+
+
+def build_two_site(sim, latency=0.005, adc=None,
+                   pool_blocks=1_000_000) -> TwoSite:
+    """Create two arrays with one pool each and a connecting link."""
+    config = ArrayConfig(adc=adc or fast_adc())
+    main = StorageArray(sim, serial="G370-MAIN", config=config)
+    backup = StorageArray(sim, serial="G370-BKUP", config=config)
+    link = NetworkLink(sim, latency=latency, name="main->backup")
+    main_pool = main.create_pool(pool_blocks)
+    backup_pool = backup.create_pool(pool_blocks)
+    return TwoSite(sim=sim, main=main, backup=backup, link=link,
+                   main_pool_id=main_pool.pool_id,
+                   backup_pool_id=backup_pool.pool_id)
+
+
+@pytest.fixture()
+def two_site(sim):
+    return build_two_site(sim)
+
+
+def run(sim, generator, timeout=None):
+    """Run a process generator to completion and return its result."""
+    return sim.run_until_complete(sim.spawn(generator), timeout=timeout)

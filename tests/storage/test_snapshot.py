@@ -1,0 +1,184 @@
+"""Unit and integration tests for copy-on-write snapshots and groups."""
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.storage.snapshot import SNAPSHOT_VIEW_ID_BASE
+from tests.storage.conftest import run
+from tests.storage.test_adc import make_async_pair
+
+
+class TestSnapshotCow:
+    def test_snapshot_freezes_image(self, sim, two_site):
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        run(sim, array.host_write(vol.volume_id, 0, b"old"))
+        snap = array.create_snapshot(vol.volume_id)
+        run(sim, array.host_write(vol.volume_id, 0, b"new"))
+        assert snap.read_current(0) == b"old"
+        assert vol.peek(0).payload == b"new"
+
+    def test_unallocated_block_stays_absent_in_snapshot(self, sim, two_site):
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        snap = array.create_snapshot(vol.volume_id)
+        run(sim, array.host_write(vol.volume_id, 3, b"later"))
+        assert snap.read_current(3) is None
+
+    def test_untouched_blocks_fall_through_to_base(self, sim, two_site):
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        run(sim, array.host_write(vol.volume_id, 1, b"shared"))
+        snap = array.create_snapshot(vol.volume_id)
+        assert snap.read_current(1) == b"shared"
+        assert snap.cow_blocks == 0  # no write happened, no COW copy
+
+    def test_cow_copy_happens_once_per_block(self, sim, two_site):
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        run(sim, array.host_write(vol.volume_id, 0, b"v1"))
+        snap = array.create_snapshot(vol.volume_id)
+        run(sim, array.host_write(vol.volume_id, 0, b"v2"))
+        run(sim, array.host_write(vol.volume_id, 0, b"v3"))
+        assert snap.cow_blocks == 1
+        assert snap.read_current(0) == b"v1"
+
+    def test_writable_overlay_does_not_touch_base(self, sim, two_site):
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        run(sim, array.host_write(vol.volume_id, 0, b"base"))
+        snap = array.create_snapshot(vol.volume_id)
+        view = snap.view()
+        run(sim, view.write_block(0, b"overlay"))
+        assert run(sim, view.read_block(0)) == b"overlay"
+        assert vol.peek(0).payload == b"base"
+
+    def test_view_volume_id_is_disjoint(self, sim, two_site):
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        snap = array.create_snapshot(vol.volume_id)
+        assert snap.view().volume_id >= SNAPSHOT_VIEW_ID_BASE
+
+    def test_deleted_snapshot_rejects_access(self, sim, two_site):
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        snap = array.create_snapshot(vol.volume_id)
+        array.delete_snapshot(snap.snapshot_id)
+        with pytest.raises(SnapshotError):
+            snap.read_current(0)
+        assert vol.snapshot_count == 0
+
+    def test_multiple_snapshots_independent(self, sim, two_site):
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        run(sim, array.host_write(vol.volume_id, 0, b"epoch1"))
+        snap1 = array.create_snapshot(vol.volume_id)
+        run(sim, array.host_write(vol.volume_id, 0, b"epoch2"))
+        snap2 = array.create_snapshot(vol.volume_id)
+        run(sim, array.host_write(vol.volume_id, 0, b"epoch3"))
+        assert snap1.read_current(0) == b"epoch1"
+        assert snap2.read_current(0) == b"epoch2"
+
+    def test_image_blocks_merges_layers(self, sim, two_site):
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        run(sim, array.host_write(vol.volume_id, 0, b"a"))
+        run(sim, array.host_write(vol.volume_id, 1, b"b"))
+        snap = array.create_snapshot(vol.volume_id)
+        run(sim, array.host_write(vol.volume_id, 0, b"a2"))
+        snap.write_overlay(2, b"c")
+        image = snap.image_blocks()
+        assert image == {0: b"a", 1: b"b", 2: b"c"}
+
+
+class TestSnapshotGroup:
+    def test_group_snapshots_all_members(self, sim, two_site):
+        array = two_site.main
+        vols = [array.create_volume(two_site.main_pool_id, 64)
+                for _ in range(3)]
+        for i, vol in enumerate(vols):
+            run(sim, array.host_write(vol.volume_id, 0, b"v%d" % i))
+        group = run(sim, array.create_snapshot_group(
+            "sg", [v.volume_id for v in vols]))
+        assert len(group.snapshots) == 3
+        by_base = group.by_base_volume()
+        for i, vol in enumerate(vols):
+            assert by_base[vol.volume_id].read_current(0) == b"v%d" % i
+
+    def test_quiesced_group_is_consistent_under_restore(self, sim, two_site):
+        """Snapshot group during live restore: the images must be a prefix
+        of the replicated order across both volumes."""
+        pvol_a, svol_a = make_async_pair(two_site, group_id="jg-a",
+                                         pair_id="pa")
+        pvol_b = two_site.main.create_volume(two_site.main_pool_id, 256)
+        svol_b = two_site.backup.create_volume(two_site.backup_pool_id, 256)
+        two_site.main.create_async_pair(
+            "pb", "jg-a", pvol_b.volume_id, two_site.backup,
+            svol_b.volume_id)
+
+        def writer(sim):
+            for i in range(60):
+                target = pvol_a if i % 2 == 0 else pvol_b
+                yield from two_site.main.host_write(
+                    target.volume_id, i % 8, b"w%03d" % i, tag=f"t{i}")
+
+        proc = sim.spawn(writer(sim))
+        sim.run(until=sim.now + 0.004)
+        group = run(sim, two_site.backup.create_snapshot_group(
+            "sg", [svol_a.volume_id, svol_b.volume_id], quiesce=True))
+        # check prefix property of the frozen images
+        frozen = group.frozen_versions()
+        applied = set()
+        mapping = {svol_a.volume_id: pvol_a.volume_id,
+                   svol_b.volume_id: pvol_b.volume_id}
+        for svol_id, versions in frozen.items():
+            pvol_id = mapping[svol_id]
+            for record in two_site.main.history.for_volume(pvol_id):
+                if versions.get(record.block, -1) >= record.version:
+                    applied.add(record.seq)
+        history = two_site.main.history.restricted(list(mapping.values()))
+        seen_missing = False
+        for record in history:
+            if record.seq in applied:
+                assert not seen_missing, "snapshot group is not a prefix"
+            else:
+                seen_missing = True
+        sim.run_until_complete(proc)
+        sim.run(until=sim.now + 1.0)
+        # restore resumed and completed after the quiesce window
+        assert svol_a.block_map() == pvol_a.block_map()
+
+    def test_duplicate_group_id_rejected(self, sim, two_site):
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        run(sim, array.create_snapshot_group("sg", [vol.volume_id]))
+        with pytest.raises(SnapshotError):
+            run(sim, array.create_snapshot_group("sg", [vol.volume_id]))
+
+    def test_empty_group_rejected(self, sim, two_site):
+        with pytest.raises(SnapshotError):
+            run(sim, two_site.main.create_snapshot_group("sg", []))
+
+    def test_snapshot_pruned_during_cow_wait_is_skipped(self, sim,
+                                                        two_site):
+        """Regression: deleting a snapshot while a write is waiting out
+        the COW copy latency must not blow up the write (the retention
+        scheduler prunes snapshots under live load)."""
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        run(sim, array.host_write(vol.volume_id, 0, b"base"))
+        snap = array.create_snapshot(vol.volume_id)
+        writer = sim.spawn(array.host_write(vol.volume_id, 0, b"new"))
+        # delete the snapshot mid-write (inside the COW latency window)
+        sim.call_after(vol.media.cow_copy_latency / 2,
+                       lambda: array.delete_snapshot(snap.snapshot_id))
+        record = sim.run_until_complete(writer)
+        assert record is not None
+        assert vol.peek(0).payload == b"new"
+
+    def test_group_delete_releases_members(self, sim, two_site):
+        array = two_site.main
+        vol = array.create_volume(two_site.main_pool_id, 64)
+        group = run(sim, array.create_snapshot_group("sg", [vol.volume_id]))
+        group.delete()
+        assert vol.snapshot_count == 0

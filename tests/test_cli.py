@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.seed == 2025
+        assert not args.screens
+
+    def test_modes_arguments(self):
+        args = build_parser().parse_args(
+            ["modes", "--rtt-ms", "25", "--seed", "3"])
+        assert args.rtt_ms == 25.0
+        assert args.seed == 3
+
+
+class TestCommands:
+    def test_demo_command_prints_summary(self, capsys):
+        assert main(["demo", "--seed", "2025"]) == 0
+        output = capsys.readouterr().out
+        assert "ICDE demonstration summary" in output
+        assert "Protected" in output
+
+    def test_demo_screens_flag(self, capsys):
+        assert main(["demo", "--screens"]) == 0
+        output = capsys.readouterr().out
+        assert "main-site console" in output
+        assert "tag-namespace" in output
+
+    def test_modes_command(self, capsys):
+        assert main(["modes", "--rtt-ms", "4.0"]) == 0
+        output = capsys.readouterr().out
+        assert "sdc" in output
+        assert "adc-cg" in output
+
+    def test_collapse_command(self, capsys):
+        assert main(["collapse", "--disasters", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "backup recoverability" in output
+        assert "adc-nocg" in output
