@@ -4,9 +4,60 @@ Every benchmark runs one experiment end to end (fresh simulators inside),
 prints the result table the paper's narrative predicts, and asserts the
 *shape* facts — who wins, by roughly what factor, where behaviour flips.
 Absolute numbers are simulator-dependent and not asserted.
+
+Besides the printed table, each experiment drops a machine-readable
+``BENCH_<runner>.json`` (columns, rows, notes and the facts dict —
+including the ``registry`` sub-dict of telemetry-derived numbers such as
+host-write percentiles, max journal entry-lag and transfer-batch
+counts).  The output directory defaults to the repository root and can
+be redirected with ``REPRO_BENCH_DIR``.
 """
 
+import json
+import os
+import pathlib
+
 import pytest
+
+#: values that json.dumps cannot express losslessly are stringified
+_JSONABLE = (str, int, float, bool, type(None))
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float) and value != value:  # NaN
+        return None
+    if isinstance(value, _JSONABLE):
+        return value
+    return repr(value)
+
+
+def _bench_dir() -> pathlib.Path:
+    configured = os.environ.get("REPRO_BENCH_DIR")
+    if configured:
+        path = pathlib.Path(configured)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return pathlib.Path(__file__).resolve().parent.parent
+
+
+def emit_bench_json(runner_name: str, table, facts) -> pathlib.Path:
+    """Write ``BENCH_<RUNNER>.json`` next to the repo (or REPRO_BENCH_DIR)."""
+    name = runner_name.upper().replace("RUN_", "", 1)
+    path = _bench_dir() / f"BENCH_{name}.json"
+    payload = {
+        "experiment": runner_name,
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": _jsonable(list(table.rows)),
+        "notes": list(table.notes),
+        "facts": _jsonable(facts),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def record_experiment(benchmark, runner, **kwargs):
@@ -25,6 +76,9 @@ def record_experiment(benchmark, runner, **kwargs):
     benchmark.pedantic(once, rounds=1, iterations=1)
     print()
     print(result["table"].render())
+    emitted = emit_bench_json(runner.__name__, result["table"],
+                              result["facts"])
+    print(f"[bench json: {emitted}]")
     return result["table"], result["facts"]
 
 

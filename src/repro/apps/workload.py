@@ -115,7 +115,25 @@ def run_order_workload(sim: Simulator, app: EcommerceApp,
     for process in processes:
         if process.alive:
             sim.run_until_complete(process)
-    return WorkloadResult(duration=config.duration, results=results)
+    outcome = WorkloadResult(duration=config.duration, results=results)
+    # publish the committed-order latency distribution so `repro metrics`
+    # shows application-level latency next to the storage-level numbers
+    order_latency = sim.telemetry.registry.summary(
+        "repro_order_latency_seconds",
+        help="Committed-order latency per workload", unit="seconds",
+        workload=config.rng_prefix)
+    for result in results:
+        if result.accepted:
+            order_latency.record(result.latency)
+    sim.telemetry.registry.counter(
+        "repro_orders_total", help="Orders by outcome",
+        workload=config.rng_prefix, outcome="accepted",
+    ).increment(outcome.accepted)
+    sim.telemetry.registry.counter(
+        "repro_orders_total", help="Orders by outcome",
+        workload=config.rng_prefix, outcome="rejected",
+    ).increment(outcome.rejected)
+    return outcome
 
 
 class BackgroundLoad:

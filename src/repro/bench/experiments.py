@@ -47,6 +47,7 @@ def run_e1_slowdown(rtt_ms_values: Sequence[float] = (1.0, 5.0, 10.0, 25.0),
         columns=("mode", "rtt_ms", "orders", "throughput_per_s",
                  "p50_ms", "p99_ms"))
     measured: Dict[Tuple[str, float], Dict[str, float]] = {}
+    registry_facts: Dict[str, Dict[str, float]] = {}
     for mode in (MODE_NONE, MODE_SDC, MODE_ADC_CG):
         for rtt_ms in rtt_ms_values:
             experiment = build_business_system(
@@ -54,12 +55,27 @@ def run_e1_slowdown(rtt_ms_values: Sequence[float] = (1.0, 5.0, 10.0, 25.0),
             result = run_order_workload(
                 experiment.sim, experiment.business.app,
                 WorkloadConfig(client_count=clients, duration=duration))
-            summary = result.latency_summary().as_millis()
+            # order latency read back from the telemetry registry (the
+            # workload published it there); identical numbers to the
+            # local recorder because the summary kind keeps raw samples
+            registry = experiment.sim.telemetry.registry
+            summary = registry.get(
+                "repro_order_latency_seconds",
+                workload="workload").summary().as_millis()
             table.add_row(mode, rtt_ms, result.accepted,
                           result.throughput, summary.p50, summary.p99)
             measured[(mode, rtt_ms)] = {
                 "p50": summary.p50, "p99": summary.p99,
                 "throughput": result.throughput}
+            writes = registry.get(
+                "repro_host_write_seconds",
+                array=experiment.system.main.array.serial).summary()
+            registry_facts[f"{mode}@{rtt_ms}ms"] = {
+                "host_write_p50_ms": writes.p50 * 1e3,
+                "host_write_p95_ms": writes.p95 * 1e3,
+                "host_write_p99_ms": writes.p99 * 1e3,
+                "host_writes": writes.count,
+            }
     max_rtt = max(rtt_ms_values)
     adc_overhead = max(
         measured[(MODE_ADC_CG, rtt)]["p50"]
@@ -76,6 +92,7 @@ def run_e1_slowdown(rtt_ms_values: Sequence[float] = (1.0, 5.0, 10.0, 25.0),
         "sdc_over_adc_at_max_rtt": sdc_ratio_at_max,
         "sdc_p50_growth_over_rtt": sdc_growth,
         "adc_p50_growth_over_rtt": adc_growth,
+        "registry": registry_facts,
     }
     table.note(f"ADC worst-case p50 overhead vs no-backup: "
                f"{(adc_overhead - 1) * 100:.1f}%")
@@ -521,10 +538,13 @@ def run_e7_journal(intervals_ms: Sequence[float] = (1.0, 5.0, 20.0, 50.0),
                  "peak_journal_entries"))
     throughputs: List[float] = []
     mean_losses: List[float] = []
+    registry_facts: Dict[str, Dict[str, float]] = {}
     for interval_ms in intervals_ms:
         lost: List[int] = []
         tputs: List[float] = []
         peaks: List[int] = []
+        entry_lags: List[float] = []
+        batches = 0
         for seed in seeds:
             experiment = build_business_system(
                 seed=seed, mode=MODE_ADC_CG,
@@ -541,18 +561,33 @@ def run_e7_journal(intervals_ms: Sequence[float] = (1.0, 5.0, 20.0, 50.0),
                 experiment.system, experiment.business,
                 expected_committed=committed)
             lost.append(promoted.report.lost_committed_orders)
-            peaks.append(max(g.main_journal.peak_entries for g in groups))
+            # journal-side observables come from the telemetry registry
+            # (the gauges/counters the transfer loop maintains), not from
+            # reaching into the journal internals
+            peaks.append(max(
+                int(g.peak_entries_gauge.value)
+                if g.peak_entries_gauge.points else 0 for g in groups))
+            entry_lags.extend(
+                g.lag_entries.maximum() for g in groups
+                if g.lag_entries.points)
+            batches += sum(g.transfer_batches.value for g in groups)
         throughput = sum(tputs) / len(tputs)
         mean_lost = sum(lost) / len(lost)
         table.add_row(interval_ms, throughput, mean_lost,
                       max(peaks))
         throughputs.append(throughput)
         mean_losses.append(mean_lost)
+        registry_facts[f"{interval_ms}ms"] = {
+            "max_entry_lag": max(entry_lags) if entry_lags else 0.0,
+            "transfer_batches": batches,
+            "peak_journal_entries": max(peaks),
+        }
     facts: Facts = {
         "throughputs": throughputs,
         "mean_losses": mean_losses,
         "loss_grows": mean_losses[-1] > mean_losses[0],
         "throughput_spread": max(throughputs) / min(throughputs),
+        "registry": registry_facts,
     }
     table.note("foreground throughput stays flat (async ack path); data "
                "loss at disaster grows with the transfer interval")

@@ -8,6 +8,10 @@ Commands:
   vs without consistency groups (the §I claim);
 * ``modes``    — print the no-backup / SDC / ADC latency table (E1's
   shape) for one RTT;
+* ``metrics``  — run a scenario and print its telemetry registry
+  (Prometheus text or JSON);
+* ``trace``    — run a scenario and print the span-stage breakdown and
+  the span-derived replication-lag (RPO) report;
 * ``report``   — regenerate every EXPERIMENTS.md table.
 """
 
@@ -59,6 +63,46 @@ def _cmd_modes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scenario(args: argparse.Namespace):
+    """Run the scenario named by ``args.scenario``; returns its Simulator."""
+    if args.probe_interval <= 0:
+        raise SystemExit("repro: --probe-interval must be > 0 "
+                         f"(got {args.probe_interval})")
+    if args.scenario == "demo":
+        from repro.scenarios import run_demo
+        environment = run_demo(seed=args.seed,
+                               probe_interval=args.probe_interval)
+        return environment.sim
+    raise SystemExit(f"unknown scenario: {args.scenario!r}")
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    sim = _run_scenario(args)
+    print(sim.telemetry.registry.render(format=args.format))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import replication_lag_report, stage_breakdown
+    sim = _run_scenario(args)
+    tracer = sim.telemetry.tracer
+    if args.json:
+        print(tracer.render_json())
+        return 0
+    print(f"{'span':18} {'count':>8} {'mean(ms)':>10} {'max(ms)':>10}")
+    for stage in stage_breakdown(tracer):
+        print(f"{stage.name:18} {stage.count:8d} "
+              f"{stage.mean * 1e3:10.3f} {stage.maximum * 1e3:10.3f}")
+    lag = replication_lag_report(tracer)
+    print()
+    print("replication lag (RPO) from spans:")
+    print(f"  host writes applied at backup : {lag.applied}")
+    print(f"  host writes not yet applied   : {lag.unapplied}")
+    print(f"  worst apply lag               : {lag.worst_lag * 1e3:.3f} ms")
+    print(f"  mean apply lag                : {lag.mean_lag * 1e3:.3f} ms")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.bench.report import main as report_main
     report_main(markdown=not args.text)
@@ -91,6 +135,29 @@ def build_parser() -> argparse.ArgumentParser:
     modes.add_argument("--seed", type=int, default=11)
     modes.add_argument("--rtt-ms", type=float, default=10.0)
     modes.set_defaults(func=_cmd_modes)
+
+    def add_scenario_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--scenario", choices=["demo"],
+                             default="demo",
+                             help="which scenario to run and observe")
+        command.add_argument("--seed", type=int, default=2025)
+        command.add_argument("--probe-interval", type=float, default=0.02,
+                             help="telemetry probe sampling interval in "
+                                  "simulated seconds")
+
+    metrics = sub.add_parser(
+        "metrics", help="run a scenario and print its metrics registry")
+    add_scenario_args(metrics)
+    metrics.add_argument("--format", choices=["prom", "json"],
+                         default="prom")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="run a scenario and print its span statistics")
+    add_scenario_args(trace)
+    trace.add_argument("--json", action="store_true",
+                       help="dump the raw finished spans as JSON")
+    trace.set_defaults(func=_cmd_trace)
 
     report = sub.add_parser(
         "report", help="regenerate every EXPERIMENTS.md table")

@@ -75,6 +75,15 @@ class ReplicationReconciler(Reconciler):
             yield api.sim.timeout(self.context.command_latency)
 
     @staticmethod
+    def _count(api: ApiServer, step: str) -> None:
+        """Count one array-facing ensure/teardown step in the registry."""
+        api.sim.telemetry.registry.counter(
+            "repro_csi_replication_steps_total",
+            help="Array-facing steps taken by the replication plugin",
+            step=step,
+        ).increment()
+
+    @staticmethod
     def _group_ids(cr: ConsistencyGroupReplication) -> Dict[str, str]:
         """pvc name -> journal group id for this CR's configuration."""
         base = f"jg-{cr.meta.namespace}-{cr.meta.name}"
@@ -186,6 +195,7 @@ class ReplicationReconciler(Reconciler):
             group_id, main_journal.journal_id, self.context.backup_array,
             backup_journal.journal_id, self.context.link,
             adc_config=self.context.adc_config)
+        self._count(api, "create_journal_group")
 
     def _ensure_pair(self, api: ApiServer,
                      cr: ConsistencyGroupReplication, pvc_name: str,
@@ -207,10 +217,12 @@ class ReplicationReconciler(Reconciler):
                 svol.volume_id)
             cr.status.secondary_handles[pvc_name] = secondary_handle
             cr = api.update(cr)  # persist before pairing (idempotency)
+            self._count(api, "create_secondary_volume")
         svol_id = self.context.backup_array.parse_handle(secondary_handle)
         yield from self._pay(api)
         self.context.main_array.create_async_pair(
             pair_id, group_id, pvol_id, self.context.backup_array, svol_id)
+        self._count(api, "create_async_pair")
         return cr
 
     def _reconcile_suspension(self, api: ApiServer,
@@ -234,10 +246,12 @@ class ReplicationReconciler(Reconciler):
             if cr.spec.suspended and not group.suspended:
                 yield from self._pay(api)
                 group.split()
+                self._count(api, "split")
             elif not cr.spec.suspended and group.suspended and \
                     states == {PairState.PSUS} and group.link.is_up:
                 yield from self._pay(api)
                 yield from group.resync()
+                self._count(api, "resync")
 
     def _ensure_backup_pv(self, cr: ConsistencyGroupReplication,
                           pvc_name: str, pv: PersistentVolume) -> None:
@@ -261,6 +275,7 @@ class ReplicationReconciler(Reconciler):
         backup_pv.spec.csi.array_serial = self.context.backup_array.serial
         backup_pv.spec.claim_ref = claim_ref(cr.meta.namespace, pvc_name)
         backup_api.create(backup_pv)
+        self._count(backup_api, "register_backup_pv")
 
     # -- teardown ------------------------------------------------------------
 
@@ -274,12 +289,14 @@ class ReplicationReconciler(Reconciler):
             if self.context.main_array.find_pair(pair_id) is not None:
                 yield from self._pay(api)
                 self.context.main_array.delete_pair(pair_id)
+                self._count(api, "delete_pair")
         for group_id in sorted(set(group_ids.values())):
             group = self.context.main_array.journal_groups.get(group_id)
             if group is not None and not group.pairs:
                 yield from self._pay(api)
                 self.context.main_array.delete_journal_group(
                     group_id, self.context.backup_array)
+                self._count(api, "delete_journal_group")
         for pvc_name in cr.spec.pvc_names:
             name = self._backup_pv_name(cr, pvc_name)
             if self.context.backup_api.try_get(

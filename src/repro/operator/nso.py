@@ -209,6 +209,11 @@ class NamespaceOperatorReconciler(Reconciler):
             record_event(api, namespace.meta.name, namespace.key,
                          reason=state, message=message or "",
                          source=OWNER_NAME)
+            api.sim.telemetry.registry.counter(
+                "repro_nso_transitions_total",
+                help="Namespace protection-state transitions",
+                namespace=namespace.meta.name, state=state,
+            ).increment()
 
     def map_event(self, api: ApiServer,
                   event: WatchEvent) -> List[ObjectKey]:

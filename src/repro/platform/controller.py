@@ -101,6 +101,14 @@ class Controller:
         #: reconcile invocations, for operator-efficiency experiments
         self.reconcile_count = 0
         self.error_count = 0
+        registry = sim.telemetry.registry
+        self._reconciles_metric = registry.counter(
+            "repro_reconcile_total",
+            help="Reconcile invocations per controller",
+            controller=self.name)
+        self._errors_metric = registry.counter(
+            "repro_reconcile_errors_total",
+            help="Reconcile invocations that raised", controller=self.name)
 
     # -- queue -----------------------------------------------------------
 
@@ -162,10 +170,12 @@ class Controller:
             if not self._running:
                 return
             self.reconcile_count += 1
+            self._reconciles_metric.increment()
             try:
                 result = yield from self.reconciler.reconcile(self.api, key)
             except Exception:  # noqa: BLE001 - controller must survive
                 self.error_count += 1
+                self._errors_metric.increment()
                 failures = self._failures.get(key, 0) + 1
                 self._failures[key] = failures
                 self.enqueue_after(key, self.backoff.delay(failures))

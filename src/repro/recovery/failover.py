@@ -143,6 +143,8 @@ class FailoverManager:
         """
         sim = self.system.sim
         report = FailoverReport(started_at=sim.now)
+        tracer = sim.telemetry.tracer
+        span = tracer.start("failover", namespace=self.business_namespace)
         secondary = self.discover_secondary_volumes()
         missing = [pvc for pvc in PVC_LAYOUT if pvc not in secondary]
         if missing:
@@ -209,6 +211,7 @@ class FailoverManager:
         if not report.business_report.consistent:
             report.failure_reason = str(report.business_report)
             report.completed_at = sim.now
+            self._record_outcome(report, span, collapsed=True)
             raise CollapsedBackupError(
                 "backup image is not recoverable: "
                 f"{report.business_report}", )
@@ -225,7 +228,36 @@ class FailoverManager:
         app = EcommerceApp(sales_db, stock_db, catalog, epoch="bkup")
         report.completed_at = sim.now
         report.succeeded = True
+        self._record_outcome(report, span, collapsed=False)
         return PromotedBusiness(app=app, report=report)
+
+    def _record_outcome(self, report: FailoverReport, span,
+                        collapsed: bool) -> None:
+        """Publish the failover outcome into the telemetry registry."""
+        sim = self.system.sim
+        registry = sim.telemetry.registry
+        outcome = "collapsed" if collapsed else "recovered"
+        registry.counter(
+            "repro_failovers_total",
+            help="Failover attempts by outcome", outcome=outcome,
+        ).increment()
+        registry.gauge(
+            "repro_failover_rto_seconds",
+            help="Disaster-to-serving time of the last failover",
+            unit="seconds", namespace=self.business_namespace,
+        ).sample(sim.now, report.rto_seconds)
+        if report.rpo_seconds >= 0:
+            registry.gauge(
+                "repro_failover_rpo_seconds",
+                help="Age of the newest recovered write at disaster time",
+                unit="seconds", namespace=self.business_namespace,
+            ).sample(sim.now, report.rpo_seconds)
+        sim.telemetry.tracer.finish(
+            span, status="error" if collapsed else "ok",
+            drained_entries=report.drained_entries,
+            rto_seconds=report.rto_seconds,
+            rpo_seconds=report.rpo_seconds,
+            lost_acked_writes=report.lost_acked_writes)
 
     def _bucket_count(self) -> int:
         """Bucket count of the business databases.

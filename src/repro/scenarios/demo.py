@@ -39,6 +39,7 @@ from repro.scenarios.business import (BusinessConfig, BusinessProcess,
                                       PVC_LAYOUT, deploy_business_process)
 from repro.simulation.kernel import Simulator
 from repro.storage.snapshot import SnapshotGroup
+from repro.telemetry import start_probes
 
 
 @dataclass
@@ -102,8 +103,13 @@ def run_demo(seed: int = 2025,
              system_config: Optional[SystemConfig] = None,
              business_config: Optional[BusinessConfig] = None,
              configuration_timeout: float = 30.0,
-             analytics_delay: float = 0.5) -> DemoEnvironment:
+             analytics_delay: float = 0.5,
+             probe_interval: Optional[float] = None) -> DemoEnvironment:
     """Run the full three-step demonstration; returns the environment.
+
+    ``probe_interval`` > 0 starts telemetry probes on both arrays, so
+    the returned environment's registry carries journal-lag and
+    snapshot-age gauge series (see :mod:`repro.telemetry.probes`).
 
     Raises :class:`ReproError` if any demonstrated transition fails to
     happen (this function *is* the demo's correctness test).
@@ -111,6 +117,9 @@ def run_demo(seed: int = 2025,
     sim = Simulator(seed=seed)
     system = build_system(sim, system_config or SystemConfig())
     install_namespace_operator(system.main.cluster)
+    if probe_interval is not None:
+        start_probes(sim, [system.main.array, system.backup.array],
+                     interval=probe_interval)
     result = DemoResult()
 
     # -- the stage: business process + continual transaction window --------

@@ -30,6 +30,7 @@ from repro.simulation.events import (AllOf, AnyOf, CallbackHandle, Event,
 from repro.simulation.process import Process, ProcessGenerator
 from repro.simulation.rng import RngRegistry
 from repro.simulation.trace import TraceLog
+from repro.telemetry import Telemetry
 
 
 class Simulator:
@@ -52,6 +53,10 @@ class Simulator:
         self._sequence = itertools.count()
         self.rng = RngRegistry(seed)
         self.trace = TraceLog(self) if trace else None
+        #: per-simulation observability context (metrics + spans); see
+        #: :mod:`repro.telemetry`
+        self.telemetry = Telemetry(clock=lambda: self._now,
+                                   trace_log=self.trace)
         #: When true (default) a process whose generator raises stores the
         #: exception on its termination event instead of crashing ``run``.
         self.capture_process_errors = True

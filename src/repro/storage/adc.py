@@ -36,8 +36,8 @@ from repro.errors import ReplicationError
 from repro.simulation.network import LinkDownError, NetworkLink
 from repro.simulation.resources import Gate
 from repro.storage.journal import JournalEntry, JournalFullError, JournalVolume
-from repro.storage.metrics import Counter, GaugeSeries
 from repro.storage.replication import PairState, ReplicationPair
+from repro.telemetry.spans import Span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.kernel import Simulator
@@ -116,11 +116,41 @@ class JournalGroup:
         self._transfer_enabled = True
         self._procs = []
         # -- observability ---------------------------------------------------
-        self.lag_entries = GaugeSeries(name=f"jg-{group_id}.lag-entries")
-        self.lag_seconds = GaugeSeries(name=f"jg-{group_id}.lag-seconds")
-        self.transferred_count = Counter(name=f"jg-{group_id}.transferred")
-        self.restored_count = Counter(name=f"jg-{group_id}.restored")
-        self.suspensions = Counter(name=f"jg-{group_id}.suspensions")
+        # instruments live in the simulation's metrics registry, keyed
+        # by group; the attributes below are the same objects the
+        # registry renders, so legacy call sites keep working
+        registry = sim.telemetry.registry
+        self.tracer = sim.telemetry.tracer
+        self.lag_entries = registry.gauge(
+            "repro_journal_lag_entries",
+            help="Journal entry lag sampled by the transfer loop",
+            unit="entries", group=group_id)
+        self.lag_seconds = registry.gauge(
+            "repro_journal_lag_seconds",
+            help="Age of the oldest unshipped main-journal entry",
+            unit="seconds", group=group_id)
+        self.peak_entries_gauge = registry.gauge(
+            "repro_journal_main_peak_entries",
+            help="Peak occupancy of the main journal",
+            unit="entries", group=group_id)
+        self.transferred_count = registry.counter(
+            "repro_journal_transferred_entries_total",
+            help="Entries shipped main -> backup journal", group=group_id)
+        self.restored_count = registry.counter(
+            "repro_journal_restored_entries_total",
+            help="Entries applied to secondary volumes", group=group_id)
+        self.suspensions = registry.counter(
+            "repro_journal_suspensions_total",
+            help="Group suspensions (journal full, link down)",
+            group=group_id)
+        self.transfer_batches = registry.counter(
+            "repro_journal_transfer_batches_total",
+            help="Batches shipped over the inter-site link",
+            group=group_id)
+        self.transfer_bytes = registry.counter(
+            "repro_journal_transfer_bytes_total",
+            help="Wire bytes shipped over the inter-site link",
+            unit="bytes", group=group_id)
 
     # -- pair management ------------------------------------------------------
 
@@ -143,11 +173,23 @@ class JournalGroup:
         self._pairs_by_pvol[pair.pvol.volume_id] = pair
         self._svol_by_pvol[pair.pvol.volume_id] = pair.svol
         watermark = -1
-        for block, value in sorted(pair.pvol.block_map().items()):
+        blocks = sorted(pair.pvol.block_map().items())
+        # pre-existing blocks ride the journal under an initial-copy
+        # span, so their restore applies have a causal parent too
+        copy_span = None
+        if blocks:
+            copy_span = self.tracer.start(
+                "initial-copy", group=self.group_id, pair=pair.pair_id,
+                volume=pair.pvol.volume_id, blocks=len(blocks))
+        for block, value in blocks:
             entry = self._append_entry(
-                pair.pvol.volume_id, block, value.payload, value.version)
+                pair.pvol.volume_id, block, value.payload, value.version,
+                trace_id=copy_span.trace_id if copy_span else None,
+                span_id=copy_span.span_id if copy_span else None)
             if entry is not None:
                 watermark = entry.sequence
+        if copy_span is not None:
+            self.tracer.finish(copy_span, watermark=watermark)
         pair.copy_watermark = watermark
         if watermark < 0:
             pair.initial_copy_done = True
@@ -174,21 +216,39 @@ class JournalGroup:
     # -- host-write side -------------------------------------------------------
 
     def journal_append(self, volume_id: int, block: int, payload: bytes,
-                       version: int) -> Generator[object, object, bool]:
+                       version: int, span: Optional[Span] = None,
+                       ) -> Generator[object, object, bool]:
         """Append one host write to the main journal (host-write path).
 
         Returns True when the write is protected (journaled), False when
         the group is suspended and the write was only marked dirty.  The
         small journal-append latency is the *entire* replication cost the
         host pays — this is the paper's "no system slowdown" mechanism.
+
+        ``span`` is the originating host-write span; the entry carries
+        its trace context to the backup site so the restore apply can
+        close the causal chain.
         """
+        append_span = self.tracer.start(
+            "journal-append", parent=span, group=self.group_id,
+            volume=volume_id, block=block)
         if self.config.journal_append_latency > 0:
             yield self.sim.timeout(self.config.journal_append_latency)
-        entry = self._append_entry(volume_id, block, payload, version)
-        return entry is not None
+        entry = self._append_entry(
+            volume_id, block, payload, version,
+            trace_id=span.trace_id if span else append_span.trace_id,
+            span_id=span.span_id if span else append_span.span_id)
+        protected = entry is not None
+        self.tracer.finish(
+            append_span, status="ok" if protected else "unprotected",
+            protected=protected,
+            sequence=entry.sequence if entry else None)
+        return protected
 
     def _append_entry(self, volume_id: int, block: int, payload: bytes,
-                      version: int) -> Optional[JournalEntry]:
+                      version: int, trace_id: Optional[str] = None,
+                      span_id: Optional[str] = None,
+                      ) -> Optional[JournalEntry]:
         pair = self._pairs_by_pvol.get(volume_id)
         if self.suspended:
             if pair is not None:
@@ -196,7 +256,8 @@ class JournalGroup:
             return None
         try:
             return self.main_journal.append(
-                volume_id, block, payload, version, self.sim.now)
+                volume_id, block, payload, version, self.sim.now,
+                trace_id=trace_id, span_id=span_id)
         except JournalFullError:
             self._suspend(PairState.PSUE, "main journal full")
             if pair is not None:
@@ -233,18 +294,33 @@ class JournalGroup:
                 f"group {self.group_id}: cannot resync while link is down")
         self.suspended = False
         self.suspend_reason = ""
-        for pair in self.pairs.values():
-            for volume_id, block in sorted(pair.take_dirty()):
-                value = pair.pvol.peek(block)
-                if value is None:
-                    continue
-                if self.config.journal_append_latency > 0:
-                    yield self.sim.timeout(self.config.journal_append_latency)
-                entry = self._append_entry(
-                    volume_id, block, value.payload, value.version)
-                if entry is None:
-                    return  # suspended again (journal refilled)
-            pair.clear_suspension()
+        resync_span = self.tracer.start("resync", group=self.group_id)
+        rejournaled = 0
+        try:
+            for pair in self.pairs.values():
+                for volume_id, block in sorted(pair.take_dirty()):
+                    value = pair.pvol.peek(block)
+                    if value is None:
+                        continue
+                    if self.config.journal_append_latency > 0:
+                        yield self.sim.timeout(
+                            self.config.journal_append_latency)
+                    entry = self._append_entry(
+                        volume_id, block, value.payload, value.version,
+                        trace_id=resync_span.trace_id,
+                        span_id=resync_span.span_id)
+                    if entry is None:
+                        # suspended again (journal refilled)
+                        self.tracer.finish(resync_span, status="suspended",
+                                           rejournaled=rejournaled)
+                        return
+                    rejournaled += 1
+                pair.clear_suspension()
+        except BaseException:
+            self.tracer.finish(resync_span, status="error",
+                               rejournaled=rejournaled)
+            raise
+        self.tracer.finish(resync_span, rejournaled=rejournaled)
 
     # -- background pipeline ------------------------------------------------
 
@@ -289,19 +365,29 @@ class JournalGroup:
                 self._sample_lag()
                 continue
             payload_bytes = sum(entry.size_bytes for entry in batch)
+            batch_span = self.tracer.start(
+                "transfer-batch", group=self.group_id,
+                entries=len(batch), bytes=payload_bytes,
+                first_sequence=batch[0].sequence,
+                last_sequence=batch[-1].sequence)
             try:
                 yield from self.link.transfer(payload_bytes)
             except LinkDownError:
+                self.tracer.finish(batch_span, status="link-down")
                 continue  # entries stay journaled; retried next wake-up
             try:
                 for entry in batch:
                     self.backup_journal.ingest(entry)
             except JournalFullError:
                 self._suspend(PairState.PSUE, "backup journal full")
+                self.tracer.finish(batch_span, status="backup-full")
                 continue
             self.main_journal.pop_through(batch[-1].sequence)
             self.transferred_sequence = batch[-1].sequence
             self.transferred_count.increment(len(batch))
+            self.transfer_batches.increment()
+            self.transfer_bytes.increment(payload_bytes)
+            self.tracer.finish(batch_span)
             self._sample_lag()
 
     def _restore_loop(self) -> Generator[object, object, None]:
@@ -365,14 +451,29 @@ class JournalGroup:
 
     def _apply_entry(self, entry: JournalEntry,
                      ) -> Generator[object, object, None]:
+        # the restore-apply span parents to the *originating* span that
+        # journaled the entry (host-write / initial-copy / resync) — the
+        # context travelled inside the entry across the site hop
+        span = self.tracer.start(
+            "restore-apply", trace_id=entry.trace_id,
+            parent_id=entry.span_id, group=self.group_id,
+            volume=entry.volume_id, block=entry.block,
+            sequence=entry.sequence, version=entry.version)
         svol = self._svol_by_pvol.get(entry.volume_id)
         if svol is None:
-            return  # pair deleted while entries were in flight
+            # pair deleted while entries were in flight
+            self.tracer.finish(span, status="skipped", applied=False,
+                               reason="pair deleted")
+            return
         current = svol.peek(entry.block)
         if current is not None and current.version >= entry.version:
-            return  # already applied (resync overlap)
+            # already applied (resync overlap)
+            self.tracer.finish(span, status="skipped", applied=False,
+                               reason="stale version")
+            return
         yield from svol.write_block(
             entry.block, entry.payload, version=entry.version)
+        self.tracer.finish(span, applied=True)
 
     def _update_copy_states(self) -> None:
         for pair in self.pairs.values():
@@ -388,6 +489,8 @@ class JournalGroup:
                 self.sim.now, self.sim.now - oldest[0].created_at)
         else:
             self.lag_seconds.sample(self.sim.now, 0.0)
+        self.peak_entries_gauge.sample(
+            self.sim.now, self.main_journal.peak_entries)
 
     # -- failover support ----------------------------------------------------
 
@@ -407,6 +510,7 @@ class JournalGroup:
         """
         while self.applying:
             yield self.sim.timeout(0.0001)
+        drain_span = self.tracer.start("journal-drain", group=self.group_id)
         applied = 0
         for entry in self.backup_journal.snapshot_entries():
             yield from self._apply_entry(entry)
@@ -415,6 +519,7 @@ class JournalGroup:
             self.restored_count.increment()
             applied += 1
         self._update_copy_states()
+        self.tracer.finish(drain_span, applied=applied)
         return applied
 
     def quiesce_restore(self) -> None:

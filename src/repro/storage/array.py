@@ -33,7 +33,6 @@ from repro.simulation.network import NetworkLink
 from repro.storage.adc import AdcConfig, JournalGroup
 from repro.storage.history import WriteHistory, WriteRecord
 from repro.storage.journal import JournalVolume
-from repro.storage.metrics import Counter, LatencyRecorder
 from repro.storage.pool import StoragePool
 from repro.storage.replication import CopyMode, PairState, ReplicationPair
 from repro.storage.sdc import SdcConfig, SyncMirror
@@ -94,11 +93,37 @@ class StorageArray:
         self._volume_ids = itertools.count(100)
         self._journal_ids = itertools.count(1)
         self._snapshot_ids = itertools.count(1)
-        # -- metrics ----------------------------------------------------------
-        self.write_latency = LatencyRecorder(name=f"{serial}.host-write")
-        self.read_latency = LatencyRecorder(name=f"{serial}.host-read")
-        self.host_writes = Counter(name=f"{serial}.host-writes")
-        self.host_reads = Counter(name=f"{serial}.host-reads")
+        # -- telemetry --------------------------------------------------------
+        # Exact-sample summaries keep benchmark facts numerically
+        # identical to direct recording; the histogram sketches render
+        # cheap percentile series for the registry exports.
+        registry = sim.telemetry.registry
+        self.tracer = sim.telemetry.tracer
+        self.write_latency = registry.summary(
+            "repro_host_write_seconds",
+            help="Host write latency (exact samples)", unit="seconds",
+            array=serial)
+        self.read_latency = registry.summary(
+            "repro_host_read_seconds",
+            help="Host read latency (exact samples)", unit="seconds",
+            array=serial)
+        self.write_latency_hist = registry.histogram(
+            "repro_host_write_latency_seconds",
+            help="Host write latency (streaming sketch)", unit="seconds",
+            array=serial)
+        self.read_latency_hist = registry.histogram(
+            "repro_host_read_latency_seconds",
+            help="Host read latency (streaming sketch)", unit="seconds",
+            array=serial)
+        self.host_writes = registry.counter(
+            "repro_host_writes_total", help="Acknowledged host writes",
+            array=serial)
+        self.host_reads = registry.counter(
+            "repro_host_reads_total", help="Completed host reads",
+            array=serial)
+        self.snapshot_groups_created = registry.counter(
+            "repro_snapshot_groups_total",
+            help="Snapshot groups created", array=serial)
 
     # ------------------------------------------------------------------
     # helpers
@@ -226,6 +251,14 @@ class StorageArray:
             raise ArrayCommandError(
                 f"array {self.serial}: unknown journal {journal_id}")
         return journal
+
+    def owns_journal(self, journal: JournalVolume) -> bool:
+        """True when ``journal`` is hosted on this array.
+
+        Journal groups are registered on both member arrays; probes use
+        this to attribute a group's series to its main side only.
+        """
+        return self._journals.get(journal.journal_id) is journal
 
     # ------------------------------------------------------------------
     # asynchronous replication (ADC)
@@ -421,19 +454,28 @@ class StorageArray:
                 f"volume {volume_id} is {volume.role.value}; host writes "
                 "are rejected")
         start = self.sim.now
-        version = yield from volume.write_block(block, payload)
-        route = self._route_by_pvol.get(volume_id)
-        if isinstance(route, SyncMirror):
-            yield from route.replicate_write(volume_id, block, payload,
-                                             version)
-        elif isinstance(route, JournalGroup):
-            yield from route.journal_append(volume_id, block, payload,
-                                            version)
-        self._check_alive()  # array may have failed mid-write: no ack
+        span = self.tracer.start("host-write", array=self.serial,
+                                 volume=volume_id, block=block)
+        try:
+            version = yield from volume.write_block(block, payload)
+            route = self._route_by_pvol.get(volume_id)
+            if isinstance(route, SyncMirror):
+                yield from route.replicate_write(volume_id, block, payload,
+                                                 version, span=span)
+            elif isinstance(route, JournalGroup):
+                yield from route.journal_append(volume_id, block, payload,
+                                                version, span=span)
+            self._check_alive()  # array may have failed mid-write: no ack
+        except BaseException:
+            self.tracer.finish(span, status="error")
+            raise
         record = self.history.append(self.sim.now, volume_id, block,
                                      version, tag=tag)
-        self.write_latency.record(self.sim.now - start)
+        latency = self.sim.now - start
+        self.write_latency.record(latency)
+        self.write_latency_hist.observe(latency)
         self.host_writes.increment()
+        self.tracer.finish(span, ack_seq=record.seq, version=version)
         return record
 
     def host_read(self, volume_id: int, block: int,
@@ -443,7 +485,9 @@ class StorageArray:
         volume = self._require_volume(volume_id)
         start = self.sim.now
         payload = yield from volume.read_block(block)
-        self.read_latency.record(self.sim.now - start)
+        latency = self.sim.now - start
+        self.read_latency.record(latency)
+        self.read_latency_hist.observe(latency)
         self.host_reads.increment()
         return payload
 
@@ -483,6 +527,9 @@ class StorageArray:
         if not volume_ids:
             raise SnapshotError("snapshot group needs at least one volume")
         volumes = [self._require_volume(vid) for vid in volume_ids]
+        span = self.tracer.start(
+            "snapshot-group", array=self.serial, group=group_id,
+            members=len(volumes), quiesce=quiesce)
         groups: Set[JournalGroup] = {
             self._restore_group_by_svol[vid]
             for vid in volume_ids if vid in self._restore_group_by_svol}
@@ -513,6 +560,8 @@ class StorageArray:
         group = SnapshotGroup(group_id=group_id, created_at=self.sim.now,
                               snapshots=snapshots, quiesced=quiesce)
         self._snapshot_groups[group_id] = group
+        self.snapshot_groups_created.increment()
+        self.tracer.finish(span)
         self._audit("create_snapshot_group", group_id=group_id,
                     volume_ids=tuple(volume_ids), quiesce=quiesce)
         return group
@@ -532,6 +581,11 @@ class StorageArray:
             raise SnapshotError(
                 f"array {self.serial}: unknown snapshot group {group_id}")
         return group
+
+    def list_snapshot_groups(self) -> List[SnapshotGroup]:
+        """All live snapshot groups, id order (probe/report surface)."""
+        return [self._snapshot_groups[gid]
+                for gid in sorted(self._snapshot_groups)]
 
     def clone_snapshot(self, snapshot_id: int, pool_id: int,
                        name: str = "") -> Volume:

@@ -36,6 +36,12 @@ class JournalEntry:
     payload: bytes
     version: int
     created_at: float
+    #: telemetry trace context riding with the entry across the
+    #: site-to-site hop (None when the write was not traced), so the
+    #: restore apply at the backup can parent its span to the
+    #: originating host write
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
     @property
     def size_bytes(self) -> int:
@@ -79,7 +85,9 @@ class JournalVolume:
         return self.capacity_entries - len(self._entries)
 
     def append(self, volume_id: int, block: int, payload: bytes,
-               version: int, time: float) -> JournalEntry:
+               version: int, time: float,
+               trace_id: Optional[str] = None,
+               span_id: Optional[str] = None) -> JournalEntry:
         """Append a new entry, assigning the next sequence number.
 
         Raises :class:`JournalFullError` when at capacity; the sequence
@@ -90,7 +98,8 @@ class JournalVolume:
                 f"{self.name} full ({self.capacity_entries} entries)")
         entry = JournalEntry(
             sequence=self._next_sequence, volume_id=volume_id, block=block,
-            payload=bytes(payload), version=version, created_at=time)
+            payload=bytes(payload), version=version, created_at=time,
+            trace_id=trace_id, span_id=span_id)
         self._next_sequence += 1
         self.head_sequence = entry.sequence
         self._entries.append(entry)

@@ -1,146 +1,36 @@
-"""Measurement primitives shared by the storage array and the benchmarks.
+"""Backward-compatible shims over :mod:`repro.telemetry.metrics`.
 
-:class:`LatencyRecorder` collects latency samples and reports summary
-statistics (mean / percentiles); :class:`Counter` counts events;
-:class:`GaugeSeries` samples a time-varying quantity (e.g. journal lag)
-for later inspection.
+The measurement primitives that used to live here moved into the
+unified telemetry subsystem (``repro.telemetry``), where the
+label-aware :class:`~repro.telemetry.registry.MetricsRegistry` hands
+them out.  This module keeps the historical import surface —
+``LatencyRecorder``, ``LatencySummary``, ``Counter``, ``GaugeSeries``,
+``percentile`` — pointing at the telemetry implementations, so older
+code and tests keep working unchanged.
+
+``GaugeSeries`` is the one renamed class (telemetry calls it
+:class:`~repro.telemetry.metrics.Gauge`); the alias below preserves the
+old constructor signature, including the optional ``points`` list.
+Note one intentional behaviour change carried over from telemetry:
+``GaugeSeries.sample()`` now rejects samples whose time runs backwards
+(it used to accept them silently), so a mis-wired probe cannot corrupt
+a lag series.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from repro.telemetry.metrics import (Counter, Gauge, LatencyRecorder,
+                                     LatencySummary, percentile,
+                                     percentile_sorted)
 
+#: historical name of the telemetry :class:`Gauge`
+GaugeSeries = Gauge
 
-def percentile(samples: Sequence[float], fraction: float) -> float:
-    """Linear-interpolation percentile of ``samples``.
-
-    ``fraction`` is in [0, 1]; raises ``ValueError`` on empty input so a
-    missing measurement can never masquerade as a zero latency.
-    """
-    if not samples:
-        raise ValueError("percentile of empty sample set")
-    if not 0.0 <= fraction <= 1.0:
-        raise ValueError(f"fraction must be in [0, 1]: {fraction}")
-    ordered = sorted(samples)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = fraction * (len(ordered) - 1)
-    low = math.floor(rank)
-    high = math.ceil(rank)
-    if low == high:
-        return ordered[low]
-    weight = rank - low
-    value = ordered[low] * (1 - weight) + ordered[high] * weight
-    # clamp: float interpolation may drift a ulp outside the bracket
-    return min(max(value, ordered[low]), ordered[high])
-
-
-@dataclass(frozen=True)
-class LatencySummary:
-    """Immutable summary of a latency distribution (seconds)."""
-
-    count: int
-    mean: float
-    p50: float
-    p95: float
-    p99: float
-    maximum: float
-
-    def as_millis(self) -> "LatencySummary":
-        """The same summary expressed in milliseconds."""
-        return LatencySummary(
-            count=self.count,
-            mean=self.mean * 1e3,
-            p50=self.p50 * 1e3,
-            p95=self.p95 * 1e3,
-            p99=self.p99 * 1e3,
-            maximum=self.maximum * 1e3,
-        )
-
-
-class LatencyRecorder:
-    """Accumulates latency samples for one operation class."""
-
-    def __init__(self, name: str = "") -> None:
-        self.name = name
-        self._samples: List[float] = []
-
-    def record(self, latency: float) -> None:
-        """Add one sample (seconds); negative samples are a bug."""
-        if latency < 0:
-            raise ValueError(f"negative latency sample: {latency}")
-        self._samples.append(latency)
-
-    def __len__(self) -> int:
-        return len(self._samples)
-
-    @property
-    def samples(self) -> Tuple[float, ...]:
-        """Immutable view of the collected samples."""
-        return tuple(self._samples)
-
-    def summary(self) -> LatencySummary:
-        """Summary statistics; raises ``ValueError`` when empty."""
-        if not self._samples:
-            raise ValueError(f"no samples recorded for {self.name!r}")
-        return LatencySummary(
-            count=len(self._samples),
-            mean=sum(self._samples) / len(self._samples),
-            p50=percentile(self._samples, 0.50),
-            p95=percentile(self._samples, 0.95),
-            p99=percentile(self._samples, 0.99),
-            maximum=max(self._samples),
-        )
-
-    def reset(self) -> None:
-        """Discard all samples (e.g. after a warm-up phase)."""
-        self._samples.clear()
-
-
-@dataclass
-class Counter:
-    """A named monotonic event counter."""
-
-    name: str = ""
-    value: int = 0
-
-    def increment(self, amount: int = 1) -> None:
-        """Add ``amount`` (must be >= 0) to the counter."""
-        if amount < 0:
-            raise ValueError(f"counter increment must be >= 0: {amount}")
-        self.value += amount
-
-    def reset(self) -> None:
-        """Zero the counter."""
-        self.value = 0
-
-
-@dataclass
-class GaugeSeries:
-    """Time-stamped samples of a fluctuating quantity."""
-
-    name: str = ""
-    points: List[Tuple[float, float]] = field(default_factory=list)
-
-    def sample(self, time: float, value: float) -> None:
-        """Record ``value`` observed at simulated ``time``."""
-        self.points.append((time, value))
-
-    def values(self) -> List[float]:
-        """Just the observed values, in time order."""
-        return [value for _time, value in self.points]
-
-    def maximum(self) -> float:
-        """Largest observed value; raises when empty."""
-        if not self.points:
-            raise ValueError(f"no samples in gauge {self.name!r}")
-        return max(self.values())
-
-    def mean(self) -> float:
-        """Average observed value; raises when empty."""
-        if not self.points:
-            raise ValueError(f"no samples in gauge {self.name!r}")
-        values = self.values()
-        return sum(values) / len(values)
+__all__ = [
+    "Counter",
+    "GaugeSeries",
+    "LatencyRecorder",
+    "LatencySummary",
+    "percentile",
+    "percentile_sorted",
+]

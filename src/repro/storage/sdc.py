@@ -20,8 +20,8 @@ from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 from repro.errors import ReplicationError
 from repro.simulation.network import LinkDownError, NetworkLink
 from repro.simulation.resources import Lock
-from repro.storage.metrics import Counter
 from repro.storage.replication import PairState, ReplicationPair
+from repro.telemetry.spans import Span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.kernel import Simulator
@@ -62,8 +62,16 @@ class SyncMirror:
         # One in-flight remote write at a time per pair keeps the apply
         # order at the secondary equal to the ack order at the primary.
         self._pair_locks: Dict[str, Lock] = {}
-        self.replicated_writes = Counter(name=f"sdc-{mirror_id}.writes")
-        self.suspensions = Counter(name=f"sdc-{mirror_id}.suspensions")
+        registry = sim.telemetry.registry
+        self.tracer = sim.telemetry.tracer
+        self.replicated_writes = registry.counter(
+            "repro_sdc_replicated_writes_total",
+            help="Writes propagated synchronously before the ack",
+            mirror=mirror_id)
+        self.suspensions = registry.counter(
+            "repro_sdc_suspensions_total",
+            help="Pair suspensions caused by link failures",
+            mirror=mirror_id)
 
     # -- pair management ------------------------------------------------------
 
@@ -118,13 +126,15 @@ class SyncMirror:
         pair.initial_copy_done = True
 
     def replicate_write(self, volume_id: int, block: int, payload: bytes,
-                        version: int) -> Generator[object, object, bool]:
+                        version: int, span: Optional[Span] = None,
+                        ) -> Generator[object, object, bool]:
         """Propagate one host write to the secondary before the ack.
 
         Called from the host-write path after the local apply.  Returns
         True when the write reached the secondary, False when the mirror
         is suspended (fence level "never") and the write is only
         dirty-tracked.  With fence level "data" a link failure raises.
+        ``span`` is the originating host-write span.
         """
         pair = self._pairs_by_pvol.get(volume_id)
         if pair is None:
@@ -133,6 +143,9 @@ class SyncMirror:
         if pair.suspended_state is not None:
             pair.mark_dirty(volume_id, block)
             return False
+        rep_span = self.tracer.start(
+            "replicate-write", parent=span, mirror=self.mirror_id,
+            volume=volume_id, block=block)
         lock = self._pair_locks[pair.pair_id]
         yield lock.acquire()
         try:
@@ -145,14 +158,17 @@ class SyncMirror:
                 yield self.sim.timeout(ack_delay)
         except LinkDownError:
             if self.config.fence_level == "data":
+                self.tracer.finish(rep_span, status="error")
                 raise
             pair.suspend(PairState.PSUE, "link down")
             pair.mark_dirty(volume_id, block)
             self.suspensions.increment()
+            self.tracer.finish(rep_span, status="suspended")
             return False
         finally:
             lock.release()
         self.replicated_writes.increment()
+        self.tracer.finish(rep_span)
         return True
 
     # -- suspension / resync -------------------------------------------------

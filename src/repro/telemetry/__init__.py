@@ -1,0 +1,69 @@
+"""Unified observability: metrics registry, causal spans, probes.
+
+Every :class:`~repro.simulation.kernel.Simulator` owns one
+:class:`Telemetry` instance (``sim.telemetry``) bundling:
+
+* ``registry`` — the :class:`~repro.telemetry.registry.MetricsRegistry`
+  all components register counters/gauges/histograms/summaries against;
+* ``tracer`` — the :class:`~repro.telemetry.spans.Tracer` recording
+  causal spans along the replication write path.
+
+Because both live on the simulator, two simulations never share state,
+and telemetry is as deterministic as everything else: same seed, same
+metrics, same spans.
+
+See ``docs/observability.md`` for the metric catalog and span taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     LatencyRecorder, LatencySummary,
+                                     percentile, percentile_sorted)
+from repro.telemetry.probes import ArrayProbe, start_probes
+from repro.telemetry.registry import MetricFamily, MetricsRegistry
+from repro.telemetry.spans import (LagReport, Span, StageStats, Tracer,
+                                   replication_lag_report, stage_breakdown)
+
+__all__ = [
+    "ArrayProbe",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LagReport",
+    "LatencyRecorder",
+    "LatencySummary",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Span",
+    "StageStats",
+    "Telemetry",
+    "Tracer",
+    "percentile",
+    "percentile_sorted",
+    "replication_lag_report",
+    "stage_breakdown",
+    "start_probes",
+]
+
+
+class Telemetry:
+    """The per-simulator observability context."""
+
+    def __init__(self, clock: Callable[[], float],
+                 trace_log: Optional[object] = None,
+                 max_spans: int = 250_000) -> None:
+        self.registry = MetricsRegistry()
+        on_finish = None
+        if trace_log is not None:
+            # mirror finished spans into the kernel's flat action log so
+            # existing TraceLog tooling sees them alongside scheduling
+            def on_finish(span: Span) -> None:
+                trace_log.record(
+                    "span", name=span.name, trace=span.trace_id,
+                    span=span.span_id, parent=span.parent_id,
+                    start=span.start, status=span.status)
+        self.tracer = Tracer(clock, max_spans=max_spans,
+                             on_finish=on_finish)

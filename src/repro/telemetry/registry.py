@@ -1,0 +1,272 @@
+"""Hierarchical, label-aware metrics registry.
+
+One :class:`MetricsRegistry` lives on every
+:class:`~repro.simulation.kernel.Simulator` (as
+``sim.telemetry.registry``) and is the single place components register
+instruments.  A *family* is a metric name plus a kind (counter, gauge,
+histogram, summary) and a fixed label-key set; *children* are the
+concrete instruments, one per distinct label-value combination:
+
+    writes = registry.counter("repro_host_writes_total", array="G370")
+    writes.increment()
+
+Re-requesting the same name+labels returns the same child, so call
+sites never need to coordinate who creates an instrument.  Requesting a
+name with a conflicting kind or label-key set raises — catching wiring
+bugs at registration time instead of producing silently-split series.
+
+Snapshots render as JSON (:meth:`MetricsRegistry.snapshot`) or
+Prometheus-style exposition text (:meth:`MetricsRegistry.render`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     LatencyRecorder)
+
+#: label values rendered as ``name{key="value",...}``
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_set(labels: Dict[str, str]) -> LabelSet:
+    """Canonical (sorted, stringified) form of a label mapping."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricFamily:
+    """All children of one metric name, sharing kind and label keys."""
+
+    def __init__(self, name: str, kind: str, label_keys: Tuple[str, ...],
+                 help: str = "", unit: str = "") -> None:
+        self.name = name
+        self.kind = kind
+        self.label_keys = label_keys
+        self.help = help
+        self.unit = unit
+        self.children: Dict[LabelSet, object] = {}
+
+    def child(self, labels: Dict[str, str],
+              factory: Callable[[], object]) -> object:
+        """Existing child for ``labels``, or a new one from ``factory``."""
+        keys = tuple(sorted(str(k) for k in labels))
+        if keys != self.label_keys:
+            raise ValueError(
+                f"metric {self.name!r} registered with label keys "
+                f"{list(self.label_keys)}, requested with {list(keys)}")
+        key = _label_set(labels)
+        instrument = self.children.get(key)
+        if instrument is None:
+            instrument = factory()
+            instrument.labels = dict(key)
+            self.children[key] = instrument
+        return instrument
+
+    def __iter__(self):
+        return iter(sorted(self.children.items()))
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+
+class MetricsRegistry:
+    """Registry of metric families keyed by name."""
+
+    def __init__(self) -> None:
+        self.families: Dict[str, MetricFamily] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def _family(self, name: str, kind: str, labels: Dict[str, str],
+                help: str, unit: str) -> MetricFamily:
+        family = self.families.get(name)
+        if family is None:
+            family = MetricFamily(
+                name, kind, tuple(sorted(str(k) for k in labels)),
+                help=help, unit=unit)
+            self.families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"requested as {kind}")
+        else:
+            if help and not family.help:
+                family.help = help
+            if unit and not family.unit:
+                family.unit = unit
+        return family
+
+    def counter(self, name: str, help: str = "", unit: str = "",
+                **labels: str) -> Counter:
+        """The counter child of ``name`` for ``labels`` (created lazily)."""
+        family = self._family(name, "counter", labels, help, unit)
+        return family.child(labels, lambda: Counter(name))
+
+    def gauge(self, name: str, help: str = "", unit: str = "",
+              strict_time: bool = True, **labels: str) -> Gauge:
+        """The gauge child of ``name`` for ``labels`` (created lazily)."""
+        family = self._family(name, "gauge", labels, help, unit)
+        return family.child(
+            labels, lambda: Gauge(name, strict_time=strict_time))
+
+    def histogram(self, name: str, help: str = "", unit: str = "",
+                  growth: float = 1.04, min_value: float = 1e-6,
+                  **labels: str) -> Histogram:
+        """The histogram child of ``name`` for ``labels``."""
+        family = self._family(name, "histogram", labels, help, unit)
+        return family.child(
+            labels,
+            lambda: Histogram(name, growth=growth, min_value=min_value))
+
+    def summary(self, name: str, help: str = "", unit: str = "",
+                **labels: str) -> LatencyRecorder:
+        """The exact-sample summary child of ``name`` for ``labels``.
+
+        Summaries keep every sample, so benchmark facts computed from
+        them are numerically identical to the pre-registry code paths;
+        use :meth:`histogram` when bounded memory matters more.
+        """
+        family = self._family(name, "summary", labels, help, unit)
+        return family.child(labels, lambda: LatencyRecorder(name))
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, name: str,
+            **labels: str) -> Optional[object]:
+        """The existing child for name+labels, or None (never creates)."""
+        family = self.families.get(name)
+        if family is None:
+            return None
+        return family.children.get(_label_set(labels))
+
+    def family(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or None."""
+        return self.families.get(name)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self.families)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-serialisable snapshot of every family and child."""
+        out: Dict[str, dict] = {}
+        for name in self.names():
+            family = self.families[name]
+            series = []
+            for labels, instrument in family:
+                series.append({"labels": dict(labels),
+                               **_instrument_state(instrument)})
+            out[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "unit": family.unit,
+                "series": series,
+            }
+        return out
+
+    def render(self, format: str = "prom") -> str:
+        """Registry contents as text: ``prom`` exposition or ``json``."""
+        if format == "json":
+            return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+        if format != "prom":
+            raise ValueError(f"unknown render format: {format!r}")
+        lines: List[str] = []
+        for name in self.names():
+            family = self.families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {_PROM_TYPE[family.kind]}")
+            for labels, instrument in family:
+                lines.extend(_prom_lines(name, dict(labels), instrument))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_PROM_TYPE = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram": "summary",   # rendered as quantile series
+    "summary": "summary",
+}
+
+
+def _format_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _instrument_state(instrument: object) -> dict:
+    """JSON-friendly state of one instrument, by kind."""
+    if isinstance(instrument, Counter):
+        return {"value": instrument.value}
+    if isinstance(instrument, Gauge):
+        if not instrument.points:
+            return {"value": None, "samples": 0, "out_of_order": 0}
+        return {
+            "value": instrument.value,
+            "samples": len(instrument),
+            "mean": instrument.mean(),
+            "max": instrument.maximum(),
+            "last_time": instrument.last_time(),
+            "out_of_order": instrument.out_of_order,
+        }
+    if isinstance(instrument, Histogram):
+        if not instrument.count:
+            return {"count": 0}
+        return {
+            "count": instrument.count,
+            "sum": instrument.total,
+            "mean": instrument.mean,
+            "min": instrument.minimum,
+            "max": instrument.maximum,
+            "p50": instrument.quantile(0.50),
+            "p95": instrument.quantile(0.95),
+            "p99": instrument.quantile(0.99),
+        }
+    if isinstance(instrument, LatencyRecorder):
+        if not len(instrument):
+            return {"count": 0}
+        summary = instrument.summary()
+        return {
+            "count": summary.count,
+            "mean": summary.mean,
+            "p50": summary.p50,
+            "p95": summary.p95,
+            "p99": summary.p99,
+            "max": summary.maximum,
+        }
+    raise TypeError(f"unknown instrument type: {type(instrument)!r}")
+
+
+def _prom_lines(name: str, labels: Dict[str, str],
+                instrument: object) -> List[str]:
+    """Prometheus exposition lines for one instrument."""
+    if isinstance(instrument, Counter):
+        return [f"{name}{_format_labels(labels)} {instrument.value}"]
+    if isinstance(instrument, Gauge):
+        if not instrument.points:
+            return []
+        return [f"{name}{_format_labels(labels)} {instrument.value:g}"]
+    if isinstance(instrument, (Histogram, LatencyRecorder)):
+        if not len(instrument):
+            return [f"{name}_count{_format_labels(labels)} 0"]
+        summary = instrument.summary()
+        lines = []
+        for q, value in (("0.5", summary.p50), ("0.95", summary.p95),
+                         ("0.99", summary.p99)):
+            extra = f'quantile="{q}"'
+            lines.append(
+                f"{name}{_format_labels(labels, extra)} {value:g}")
+        lines.append(
+            f"{name}_count{_format_labels(labels)} {summary.count}")
+        if isinstance(instrument, Histogram):
+            lines.append(
+                f"{name}_sum{_format_labels(labels)} "
+                f"{instrument.total:g}")
+        return lines
+    raise TypeError(f"unknown instrument type: {type(instrument)!r}")

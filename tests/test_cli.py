@@ -21,6 +21,18 @@ class TestParser:
         assert args.rtt_ms == 25.0
         assert args.seed == 3
 
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.scenario == "demo"
+        assert args.format == "prom"
+        assert args.probe_interval == 0.02
+
+    def test_trace_arguments(self):
+        args = build_parser().parse_args(
+            ["trace", "--scenario", "demo", "--json"])
+        assert args.json
+        assert args.seed == 2025
+
 
 class TestCommands:
     def test_demo_command_prints_summary(self, capsys):
@@ -46,3 +58,32 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "backup recoverability" in output
         assert "adc-nocg" in output
+
+    def test_metrics_command_prints_registry(self, capsys):
+        assert main(["metrics", "--scenario", "demo"]) == 0
+        output = capsys.readouterr().out
+        # the acceptance criterion: host-write latency histograms,
+        # journal entry-lag gauges and NSO reconcile counters all render
+        assert "# TYPE repro_host_write_latency_seconds summary" in output
+        assert 'repro_host_write_latency_seconds{array="G370-MAIN"' \
+            in output
+        assert "# TYPE repro_journal_entry_lag gauge" in output
+        assert "repro_journal_entry_lag{group=" in output
+        assert 'repro_reconcile_total{controller="main.namespace-' \
+            'operator"}' in output
+        assert "repro_nso_transitions_total{namespace=" in output
+
+    def test_metrics_command_json_format(self, capsys):
+        import json
+        assert main(["metrics", "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["repro_host_writes_total"]["kind"] == "counter"
+        assert snapshot["repro_journal_entry_lag"]["kind"] == "gauge"
+
+    def test_trace_command_prints_stages_and_rpo(self, capsys):
+        assert main(["trace", "--scenario", "demo"]) == 0
+        output = capsys.readouterr().out
+        assert "host-write" in output
+        assert "restore-apply" in output
+        assert "transfer-batch" in output
+        assert "replication lag (RPO) from spans" in output
