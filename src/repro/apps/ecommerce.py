@@ -112,6 +112,17 @@ class EcommerceApp:
                 f"{item.unit_price:.2f}")
         yield from self.sales_db.commit(sales_txn)
 
+    def resolve_in_doubt(self) -> Generator[object, object, int]:
+        """Finish orders whose commit decision survived a storage crash.
+
+        Crash-tolerant clients call this once storage heals, *before*
+        placing new orders: an in-doubt order holds its stock locks
+        until resolved.  Returns the number of orders completed.
+        """
+        count = yield from self.coordinator.resolve_in_doubt()
+        self.orders_accepted += count
+        return count
+
     # -- the business transaction ---------------------------------------------
 
     def place_order(self, item_id: str, qty: int,

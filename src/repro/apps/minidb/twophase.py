@@ -20,6 +20,18 @@ correct **iff** the storage images it recovers from form a consistent
 cut — precisely what the paper's consistency group provides and what
 its absence breaks.
 
+A crash *after* the decision but before Phase 2 completes needs the
+same care on the **live** site: the commit decision is durable, so the
+transaction WILL commit in any later recovery — abandoning it live
+(and releasing its locks) would let subsequent transactions read state
+that pretends it never happened, silently diverging the live site from
+every recoverable image.  :meth:`DistributedTransaction.dispose`
+therefore parks decided-commit transactions on the coordinator's
+``in_doubt`` map with their locks held, and
+:meth:`TwoPhaseCoordinator.resolve_in_doubt` re-drives Phase 2 once
+storage is healthy again (idempotent; callers retry it until it
+sticks).
+
 Deadlock note: the handle acquires locks in the caller's access order.
 Callers must touch contended keys in a globally consistent order (the
 e-commerce app sorts item keys); unique keys (order ids) are free.
@@ -32,7 +44,7 @@ from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Sequence
 
 from repro.errors import TwoPhaseCommitError
-from repro.apps.minidb.engine import MiniDB, Transaction
+from repro.apps.minidb.engine import PREPARED, MiniDB, Transaction
 
 
 @dataclass(frozen=True)
@@ -65,6 +77,9 @@ class DistributedTransaction:
         self.started_at = coordinator.coordinator_db.sim.now
         self._txns: Dict[str, Transaction] = {}
         self._finished = False
+        #: the global COMMIT record is durable: the transaction must
+        #: eventually apply everywhere, crash or not
+        self._decided_commit = False
 
     # -- data operations ---------------------------------------------------
 
@@ -113,6 +128,7 @@ class DistributedTransaction:
             yield from db.prepare(self._txns[db_name], self.gtid)
         yield from self.coordinator.coordinator_db.log_global_decision(
             self.gtid, True)
+        self._decided_commit = True
         for db_name in involved:
             db = self.coordinator.participant(db_name)
             yield from db.commit_prepared(self._txns[db_name])
@@ -155,11 +171,44 @@ class DistributedTransaction:
         """Crash cleanup: release every branch's locks without I/O.
 
         For when the storage died under the transaction — see
-        :meth:`MiniDB.dispose`.  Idempotent and state-agnostic.
+        :meth:`MiniDB.dispose`.  Idempotent and state-agnostic, with
+        one crucial exception: once the global COMMIT decision is
+        durable the transaction is no longer abortable, so its
+        still-prepared branches keep their state *and their locks* and
+        the handle is parked on the coordinator's ``in_doubt`` map.
+        Releasing those locks would let siblings read through a
+        committed-but-unapplied transaction — the live site would then
+        disagree with every image recovered from the coordinator log.
         """
         self._finished = True
+        if self._decided_commit and any(
+                txn.state == PREPARED for txn in self._txns.values()):
+            self.coordinator.in_doubt[self.gtid] = self
+            return
         for db_name, txn in self._txns.items():
             self.coordinator.participant(db_name).dispose(txn)
+
+    def resolve(self) -> Generator[object, object, DistributedOutcome]:
+        """Re-drive Phase 2 of a decided-commit in-doubt transaction.
+
+        Idempotent: branches already applied are skipped; a branch
+        whose storage is still failing raises and leaves the handle
+        resolvable (partial progress is kept in the branch states).
+        """
+        if not self._decided_commit:
+            raise TwoPhaseCommitError(
+                f"{self.gtid}: no durable commit decision to resolve")
+        for db_name in sorted(self._txns):
+            txn = self._txns[db_name]
+            if txn.state != PREPARED:
+                continue
+            db = self.coordinator.participant(db_name)
+            yield from db.commit_prepared(txn)
+        self.coordinator.committed_gtids.append(self.gtid)
+        return DistributedOutcome(
+            gtid=self.gtid, committed=True,
+            latency=self.coordinator.coordinator_db.sim.now
+            - self.started_at)
 
     def _check_open(self) -> None:
         if self._finished:
@@ -183,6 +232,9 @@ class TwoPhaseCoordinator:
         self._gtid_counter = itertools.count(1)
         self.gtid_prefix = gtid_prefix
         self.committed_gtids: List[str] = []
+        #: decided-commit transactions whose Phase 2 was cut short by a
+        #: crash; they hold their locks until resolved
+        self.in_doubt: Dict[str, DistributedTransaction] = {}
 
     def participant(self, db_name: str) -> MiniDB:
         """Resolve a participant database by name."""
@@ -195,6 +247,23 @@ class TwoPhaseCoordinator:
     def next_gtid(self) -> str:
         """Allocate the next global transaction id."""
         return f"{self.gtid_prefix}-{next(self._gtid_counter)}"
+
+    def resolve_in_doubt(self) -> Generator[object, object, int]:
+        """Finish every parked decided-commit transaction; returns the
+        number resolved.
+
+        Call after the storage under the databases heals (and before
+        issuing new transactions — the parked ones hold locks).  If a
+        resolution fails mid-way the transaction stays parked with its
+        partial progress; calling again resumes it.
+        """
+        resolved = 0
+        for gtid in sorted(self.in_doubt):
+            dtx = self.in_doubt[gtid]
+            yield from dtx.resolve()
+            del self.in_doubt[gtid]
+            resolved += 1
+        return resolved
 
     def begin(self, gtid: Optional[str] = None) -> DistributedTransaction:
         """Start a distributed transaction."""

@@ -1,0 +1,56 @@
+"""Deterministic chaos engineering for the backup reproduction.
+
+Public surface:
+
+* :func:`run_campaign` — build a protected system, run a seeded fault
+  campaign, return its :class:`ChaosReport` (the ``repro chaos`` CLI);
+* :func:`build_chaos_environment`, :class:`ChaosEngine`,
+  :class:`ChaosEnvironment`, :class:`ChaosWorkload` — the pieces, for
+  custom harnesses and tests;
+* :class:`FaultPlan`, :func:`build_plan`, :data:`PRESETS` — fault
+  schedules (hand-written or seed-generated);
+* the fault catalog (:class:`LinkPartition`, :class:`LinkBrownout`,
+  :class:`ArrayCrash`, :class:`JournalSqueeze`, :class:`SlowDisk`,
+  :class:`WireCorruption`, :class:`JournalCorruption`);
+* :class:`InvariantMonitor`, :class:`MonitorConfig`,
+  :class:`ChaosViolation` — the always-on invariant checks.
+"""
+
+from repro.chaos.engine import (ChaosEngine, ChaosEnvironment, ChaosReport,
+                                ChaosWorkload, build_chaos_environment,
+                                run_campaign)
+from repro.chaos.faults import (ArrayCrash, Fault, FaultEvent,
+                                JournalCorruption, JournalSqueeze,
+                                LinkBrownout, LinkPartition, SlowDisk,
+                                WireCorruption)
+from repro.chaos.invariants import (ChaosViolation, InvariantMonitor,
+                                    MonitorConfig)
+from repro.chaos.plan import (PRESETS, QUICK, SOAK, CampaignPreset,
+                              FaultPlan, build_plan)
+
+__all__ = [
+    "ArrayCrash",
+    "CampaignPreset",
+    "ChaosEngine",
+    "ChaosEnvironment",
+    "ChaosReport",
+    "ChaosViolation",
+    "ChaosWorkload",
+    "Fault",
+    "FaultEvent",
+    "FaultPlan",
+    "InvariantMonitor",
+    "JournalCorruption",
+    "JournalSqueeze",
+    "LinkBrownout",
+    "LinkPartition",
+    "MonitorConfig",
+    "PRESETS",
+    "QUICK",
+    "SOAK",
+    "SlowDisk",
+    "WireCorruption",
+    "build_chaos_environment",
+    "build_plan",
+    "run_campaign",
+]

@@ -1,0 +1,300 @@
+"""The chaos fault catalog.
+
+Each :class:`Fault` is a declarative description of one injected
+failure: *when* it starts (``at``), *how long* it lasts (``duration``,
+0 for instantaneous faults) and the pair of hooks the engine calls —
+:meth:`Fault.inject` at the start instant and :meth:`Fault.heal` at the
+end.  Faults act on a :class:`~repro.chaos.engine.ChaosEnvironment`
+(two-site system + protected business process + its journal group) and
+use only public chaos hooks of the substrates:
+
+* link partitions — :meth:`SitePair.fail` / ``restore``;
+* link brownouts — :meth:`NetworkLink.degrade` (extra latency + loss);
+* array crash/restart — :meth:`StorageArray.fail` / ``repair`` plus
+  :meth:`JournalGroup.restart`;
+* journal capacity squeeze — shrinking ``capacity_entries``;
+* slow disk — swapping the business volumes' :class:`MediaProfile`;
+* payload corruption — the group's wire injector
+  (:meth:`JournalGroup.install_wire_injector`) and
+  :meth:`JournalVolume.corrupt_entry` (torn write in the journal
+  medium).
+
+Faults are deterministic: any randomness draws from named RNG streams of
+the environment's simulator, so a seed fully determines a campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.storage.volume import MediaProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.engine import ChaosEnvironment
+    from repro.storage.journal import JournalEntry
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of the campaign's fault timeline."""
+
+    time: float
+    kind: str
+    action: str  # "inject" | "heal" | "skip"
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{self.time:9.4f}] {self.kind:18} {self.action}{suffix}"
+
+
+class Fault:
+    """Base class: one scheduled fault with inject/heal hooks.
+
+    ``local`` marks faults that degrade the business I/O path itself
+    (array crash, slow disk): the business-latency invariant is relaxed
+    while such a fault is active, because slower *local* media slowing
+    the business down is physics, not a replication-design failure.
+    """
+
+    kind = "fault"
+    local = False
+
+    def __init__(self, at: float, duration: float = 0.0) -> None:
+        if at < 0:
+            raise ValueError(f"fault start must be >= 0: {at}")
+        if duration < 0:
+            raise ValueError(f"fault duration must be >= 0: {duration}")
+        self.at = at
+        self.duration = duration
+        self.healed = False
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        """Apply the fault; returns a detail string for the timeline."""
+        raise NotImplementedError
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        """Undo the fault (idempotent); returns a timeline detail."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Plan-level description (used by ``repro chaos`` output)."""
+        if self.duration > 0:
+            return (f"{self.kind} at t+{self.at:.3f}s "
+                    f"for {self.duration:.3f}s")
+        return f"{self.kind} at t+{self.at:.3f}s"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class LinkPartition(Fault):
+    """Hard partition of the inter-site network, both directions."""
+
+    kind = "link-partition"
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        env.system.network.fail()
+        return "inter-site network down"
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        env.system.network.restore()
+        env.group.ensure_repair()
+        return "inter-site network restored"
+
+
+class LinkBrownout(Fault):
+    """Degraded link: extra propagation latency plus transfer loss."""
+
+    kind = "link-brownout"
+
+    def __init__(self, at: float, duration: float,
+                 extra_latency: float = 0.004,
+                 loss_fraction: float = 0.25) -> None:
+        super().__init__(at, duration)
+        self.extra_latency = extra_latency
+        self.loss_fraction = loss_fraction
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        env.system.network.degrade(extra_latency=self.extra_latency,
+                                   loss_fraction=self.loss_fraction)
+        return (f"+{self.extra_latency * 1e3:.1f}ms latency, "
+                f"{self.loss_fraction:.0%} loss")
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        env.system.network.clear_degradation()
+        env.group.ensure_repair()
+        return "link back to nominal"
+
+
+class ArrayCrash(Fault):
+    """Main-array crash and restart.
+
+    While crashed the array rejects all I/O (business writes fail and
+    are retried by the crash-tolerant workload) and its transfer
+    pipelines halt; on heal the array is repaired and the journal
+    group's dead pipelines are restarted.
+    """
+
+    kind = "array-crash"
+    local = True
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        env.system.main.array.fail()
+        return f"array {env.system.main.array.serial} down"
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        env.system.main.array.repair()
+        env.group.restart()
+        env.group.ensure_repair()
+        return f"array {env.system.main.array.serial} restarted"
+
+
+class JournalSqueeze(Fault):
+    """Shrink the main journal to near its current occupancy.
+
+    Host writes soon overflow the squeezed journal, forcing the
+    overflow → PSUE → dirty-tracking path; healing restores the original
+    capacity and lets auto-repair resync the backlog.
+    """
+
+    kind = "journal-squeeze"
+
+    def __init__(self, at: float, duration: float, slack: int = 24) -> None:
+        super().__init__(at, duration)
+        if slack < 1:
+            raise ValueError(f"slack must be >= 1: {slack}")
+        self.slack = slack
+        self._original: Optional[int] = None
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        journal = env.group.main_journal
+        self._original = journal.capacity_entries
+        journal.capacity_entries = len(journal) + self.slack
+        return (f"capacity {self._original} -> "
+                f"{journal.capacity_entries} entries")
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        journal = env.group.main_journal
+        if self._original is not None:
+            # overlapping squeezes may have saved each other's squeezed
+            # value; healing must only ever grow the capacity back
+            journal.capacity_entries = max(journal.capacity_entries,
+                                           self._original)
+        env.group.ensure_repair()
+        return f"capacity back to {journal.capacity_entries}"
+
+
+class SlowDisk(Fault):
+    """Media stall: the business volumes' latencies inflate by a factor."""
+
+    kind = "slow-disk"
+    local = True
+
+    def __init__(self, at: float, duration: float,
+                 factor: float = 40.0) -> None:
+        super().__init__(at, duration)
+        if factor < 1:
+            raise ValueError(f"slow-disk factor must be >= 1: {factor}")
+        self.factor = factor
+        self._saved = {}
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        array = env.system.main.array
+        for volume_id in env.business.volume_ids.values():
+            volume = array.get_volume(volume_id)
+            self._saved[volume_id] = volume.media
+            volume.media = MediaProfile(
+                read_latency=volume.media.read_latency * self.factor,
+                write_latency=volume.media.write_latency * self.factor,
+                cow_copy_latency=volume.media.cow_copy_latency
+                * self.factor)
+        return f"{len(self._saved)} volumes {self.factor:g}x slower"
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        array = env.system.main.array
+        for volume_id, media in self._saved.items():
+            volume = array.get_volume(volume_id)
+            # overlapping slow-disk faults save each other's inflated
+            # profiles; healing must only ever make media faster
+            volume.media = MediaProfile(
+                read_latency=min(volume.media.read_latency,
+                                 media.read_latency),
+                write_latency=min(volume.media.write_latency,
+                                  media.write_latency),
+                cow_copy_latency=min(volume.media.cow_copy_latency,
+                                     media.cow_copy_latency))
+        restored = len(self._saved)
+        self._saved = {}
+        return f"{restored} volumes back to nominal media"
+
+
+class WireCorruption(Fault):
+    """Bit flips on the replication wire.
+
+    Installs a wire injector on the journal group: each entry crossing
+    the link is corrupted with probability ``probability`` (one byte
+    XORed, checksum left stale — the signature of in-flight bit rot).
+    Every corrupted payload is registered with the environment so the
+    zero-silent-corruption invariant can later prove none of them
+    reached a secondary volume.
+    """
+
+    kind = "wire-corruption"
+
+    def __init__(self, at: float, duration: float,
+                 probability: float = 0.25) -> None:
+        super().__init__(at, duration)
+        if not 0 < probability <= 1:
+            raise ValueError(
+                f"probability must be in (0, 1]: {probability}")
+        self.probability = probability
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        rng = env.sim.rng
+
+        def injector(entry: "JournalEntry") -> "JournalEntry":
+            if rng.uniform("chaos.wire", 0.0, 1.0) >= self.probability:
+                return entry
+            payload = entry.payload or b"\x00"
+            index = rng.randint("chaos.wire", 0, len(payload) - 1)
+            mutated = (payload[:index]
+                       + bytes([payload[index] ^ 0x40])
+                       + payload[index + 1:])
+            env.note_corruption(mutated)
+            return replace(entry, payload=mutated)
+
+        env.group.install_wire_injector(injector)
+        return f"{self.probability:.0%} of entries corrupted in flight"
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        env.group.install_wire_injector(None)
+        env.group.ensure_repair()
+        return "wire clean"
+
+
+class JournalCorruption(Fault):
+    """Torn write inside a journal volume (instantaneous fault).
+
+    Corrupts the oldest retained entry of the backup journal (caught at
+    restore-apply) or, when the backup journal is empty, of the main
+    journal (caught at transfer-receive).  Either way the stale checksum
+    makes the damage detectable end to end.
+    """
+
+    kind = "journal-corruption"
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        for journal, where in ((env.group.backup_journal, "backup"),
+                               (env.group.main_journal, "main")):
+            corrupted = journal.corrupt_entry(0)
+            if corrupted is not None:
+                env.note_corruption(corrupted.payload)
+                return (f"torn write in {where} journal "
+                        f"(seq={corrupted.sequence})")
+        return "both journals empty; nothing to corrupt"
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        # nothing to undo: detection + quarantine + auto-repair handle it
+        return "handled by integrity quarantine"

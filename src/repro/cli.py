@@ -12,6 +12,9 @@ Commands:
   (Prometheus text or JSON);
 * ``trace``    — run a scenario and print the span-stage breakdown and
   the span-derived replication-lag (RPO) report;
+* ``chaos``    — run a seeded fault-injection campaign against a
+  protected business process and verify the robustness invariants
+  (exit 1 on any violation);
 * ``report``   — regenerate every EXPERIMENTS.md table.
 """
 
@@ -103,6 +106,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import run_campaign
+    report = run_campaign(seed=args.seed, preset=args.campaign,
+                          verify_failover=not args.no_failover)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.bench.report import main as report_main
     report_main(markdown=not args.text)
@@ -158,6 +169,21 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--json", action="store_true",
                        help="dump the raw finished spans as JSON")
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a seeded fault-injection campaign and "
+                      "verify the robustness invariants")
+    chaos.add_argument("--campaign", choices=["quick", "soak"],
+                       default="quick",
+                       help="fault-storm preset (quick = CI-sized, "
+                            "soak = longer regression hunt)")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="master seed; the same seed replays the "
+                            "exact same campaign")
+    chaos.add_argument("--no-failover", action="store_true",
+                       help="skip the final fail-and-recover "
+                            "consistency verification")
+    chaos.set_defaults(func=_cmd_chaos)
 
     report = sub.add_parser(
         "report", help="regenerate every EXPERIMENTS.md table")

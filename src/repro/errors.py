@@ -69,6 +69,15 @@ class ReplicationError(StorageError):
     """Illegal replication pair or consistency group operation."""
 
 
+class IntegrityError(StorageError):
+    """A payload failed its CRC32 integrity check.
+
+    Raised when a block read observes media corruption; journal-entry
+    corruption detected on the replication path is *not* raised — the
+    ADC engine quarantines the entry and suspends the pair instead.
+    """
+
+
 class SnapshotError(StorageError):
     """Illegal snapshot or snapshot group operation."""
 

@@ -41,6 +41,10 @@ class BusinessConfig:
     data_blocks: int = 64
     item_count: int = 8
     initial_qty: int = 100_000
+    #: per-key lock-wait bound for both databases (None = wait forever);
+    #: crash-tolerant workloads set it so clients blocked behind an
+    #: in-doubt transaction's locks can back out and drive resolution
+    lock_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.data_blocks < self.bucket_count:
@@ -114,10 +118,12 @@ def deploy_business_process(system: TwoSiteSystem,
 
     sales_db = MiniDB(sim, SALES, wal_device=devices["sales-wal"],
                       data_device=devices["sales-data"],
-                      bucket_count=config.bucket_count)
+                      bucket_count=config.bucket_count,
+                      lock_timeout=config.lock_timeout)
     stock_db = MiniDB(sim, STOCK, wal_device=devices["stock-wal"],
                       data_device=devices["stock-data"],
-                      bucket_count=config.bucket_count)
+                      bucket_count=config.bucket_count,
+                      lock_timeout=config.lock_timeout)
     catalog = catalog or default_catalog(config.item_count,
                                          config.initial_qty)
     app = EcommerceApp(sales_db, stock_db, catalog)

@@ -10,8 +10,17 @@ axis most experiments sweep.
 * fixed propagation latency,
 * optional bandwidth (bytes/second) producing size-dependent serialisation
   delay and FIFO queueing on the sender side,
-* optional uniform jitter on the propagation latency,
-* fail/partition support (transfers raise :class:`LinkDownError`).
+* optional uniform jitter on the propagation latency — arrival times are
+  clamped to be monotone per link, so jitter never reorders transfers
+  (the wire is FIFO),
+* fail/partition support (transfers raise :class:`LinkDownError`; a
+  transfer already in flight is interrupted *promptly* at the failure
+  instant, not after its full nominal delay),
+* degradation ("brownout") support for fault injection: extra propagation
+  latency and a per-transfer loss fraction
+  (:meth:`NetworkLink.degrade`); lost transfers raise
+  :class:`TransferDroppedError` after their full delay, exactly like a
+  dropped packet whose sender times out.
 
 ``transfer(payload_bytes)`` is a process-style generator: ``yield from
 link.transfer(n)`` completes when the last byte arrives at the far end.
@@ -19,9 +28,11 @@ link.transfer(n)`` completes when the last byte arrives at the far end.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator
+import math
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.errors import SimulationError
+from repro.simulation.events import Event
 from repro.simulation.resources import Lock
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -30,6 +41,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class LinkDownError(SimulationError):
     """A transfer was attempted (or in flight) while the link was down."""
+
+
+class TransferDroppedError(LinkDownError):
+    """A degraded (brownout) link dropped this transfer's payload.
+
+    Subclasses :class:`LinkDownError` so retry loops written for
+    partitions handle brownouts identically: the payload never arrived.
+    """
 
 
 class NetworkLink:
@@ -67,23 +86,70 @@ class NetworkLink:
         self.jitter_fraction = jitter_fraction
         self._up = True
         self._serialiser = Lock(sim, name=f"{name}.serialiser")
+        #: fires when the link fails; in-flight transfers wait on it so a
+        #: ``fail()`` interrupts them at the failure instant
+        self._down_event: Event = Event(sim, name=f"{name}.down")
+        #: arrival time of the most recent delivery; propagation jitter
+        #: is clamped so arrivals stay monotone (FIFO wire)
+        self._last_arrival = 0.0
+        #: degradation (brownout) state, see :meth:`degrade`
+        self.extra_latency = 0.0
+        self.loss_fraction = 0.0
         #: cumulative bytes moved (for experiment reporting)
         self.bytes_transferred = 0
         #: number of completed transfers
         self.transfer_count = 0
+        #: transfers dropped while degraded
+        self.transfers_dropped = 0
 
     @property
     def is_up(self) -> bool:
         """True while the link carries traffic."""
         return self._up
 
+    @property
+    def is_degraded(self) -> bool:
+        """True while a brownout is in effect."""
+        return self.extra_latency > 0 or self.loss_fraction > 0
+
     def fail(self) -> None:
-        """Cut the link: current and future transfers raise LinkDownError."""
+        """Cut the link: current and future transfers raise LinkDownError.
+
+        Transfers sleeping in their serialisation or propagation leg are
+        woken at this instant and observe the failure immediately.
+        """
+        if not self._up:
+            return
         self._up = False
+        self._down_event.succeed("link failed")
 
     def restore(self) -> None:
         """Bring the link back up."""
+        if self._up:
+            return
         self._up = True
+        self._down_event = Event(self.sim, name=f"{self.name}.down")
+
+    def degrade(self, extra_latency: float = 0.0,
+                loss_fraction: float = 0.0) -> None:
+        """Brown out the link: add propagation latency and/or loss.
+
+        ``loss_fraction`` is the per-transfer drop probability; dropped
+        transfers raise :class:`TransferDroppedError` after their full
+        delay (the sender only learns of the loss by timeout).
+        """
+        if extra_latency < 0:
+            raise ValueError(f"negative extra latency: {extra_latency}")
+        if not 0 <= loss_fraction <= 1:
+            raise ValueError(
+                f"loss_fraction must be in [0,1]: {loss_fraction}")
+        self.extra_latency = extra_latency
+        self.loss_fraction = loss_fraction
+
+    def clear_degradation(self) -> None:
+        """End a brownout (latency and loss back to nominal)."""
+        self.extra_latency = 0.0
+        self.loss_fraction = 0.0
 
     def one_way_delay(self) -> float:
         """Sample the propagation delay for one message (with jitter)."""
@@ -96,12 +162,30 @@ class NetworkLink:
         """Sample a request/response round-trip delay."""
         return self.one_way_delay() * 2
 
+    def _interruptible_wait(self, delay: float, leg: str,
+                            ) -> Generator[object, object, None]:
+        """Sleep ``delay`` seconds unless the link fails first.
+
+        Raises :class:`LinkDownError` at the failure instant, so a
+        mid-flight ``fail()`` is observed promptly on both the
+        serialisation and propagation legs.
+        """
+        if not self._up:
+            raise LinkDownError(
+                f"{self.name} went down mid-transfer ({leg})")
+        timeout = self.sim.timeout(delay)
+        yield self.sim.any_of([timeout, self._down_event])
+        if not self._up:
+            raise LinkDownError(
+                f"{self.name} went down mid-transfer ({leg})")
+
     def transfer(self, payload_bytes: int) -> Generator[object, object, float]:
         """Move ``payload_bytes`` across the link (process generator).
 
         Returns the total elapsed transfer time.  Serialisation delay is
         FIFO-serialised across concurrent transfers (one wire); the
-        propagation leg overlaps with other transfers.
+        propagation leg overlaps with other transfers but arrivals stay
+        monotone (jitter never delivers transfer N+1 before transfer N).
         """
         if payload_bytes < 0:
             raise ValueError(f"negative payload: {payload_bytes}")
@@ -111,22 +195,39 @@ class NetworkLink:
         if self.bandwidth is not None and payload_bytes > 0:
             yield self._serialiser.acquire()
             try:
-                if not self._up:
-                    raise LinkDownError(f"{self.name} went down mid-transfer")
-                yield self.sim.timeout(payload_bytes / self.bandwidth)
+                yield from self._interruptible_wait(
+                    payload_bytes / self.bandwidth, "serialisation")
             finally:
                 self._serialiser.release()
-        delay = self.one_way_delay()
-        if delay > 0:
-            yield self.sim.timeout(delay)
+        delay = self.one_way_delay() + self.extra_latency
+        # FIFO clamp: a short jitter draw may not undercut the arrival
+        # time of the previous delivery on this link
+        arrival = max(self.sim.now + delay, self._last_arrival)
+        wait = arrival - self.sim.now
+        # the float round-trip now + (arrival - now) can land one ulp
+        # before the previous delivery; nudge until the actual fire
+        # instant is monotone, and record that instant as the arrival
+        while wait > 0 and self.sim.now + wait < self._last_arrival:
+            wait = math.nextafter(wait, math.inf)
+        self._last_arrival = self.sim.now + wait
+        if wait > 0:
+            yield from self._interruptible_wait(wait, "propagation")
         if not self._up:
             raise LinkDownError(f"{self.name} went down mid-transfer")
+        if self.loss_fraction > 0 and self.sim.rng.uniform(
+                f"net.{self.name}.loss", 0.0, 1.0) < self.loss_fraction:
+            self.transfers_dropped += 1
+            raise TransferDroppedError(
+                f"{self.name} dropped {payload_bytes}B transfer "
+                f"(brownout loss {self.loss_fraction:g})")
         self.bytes_transferred += payload_bytes
         self.transfer_count += 1
         return self.sim.now - start
 
     def __repr__(self) -> str:
         state = "up" if self._up else "DOWN"
+        if self._up and self.is_degraded:
+            state = "DEGRADED"
         return (f"<NetworkLink {self.name!r} {state} "
                 f"latency={self.latency:g}s bw={self.bandwidth}>")
 
@@ -154,6 +255,17 @@ class SitePair:
         """Heal the partition."""
         self.forward.restore()
         self.backward.restore()
+
+    def degrade(self, extra_latency: float = 0.0,
+                loss_fraction: float = 0.0) -> None:
+        """Brown out both directions."""
+        self.forward.degrade(extra_latency, loss_fraction)
+        self.backward.degrade(extra_latency, loss_fraction)
+
+    def clear_degradation(self) -> None:
+        """End the brownout in both directions."""
+        self.forward.clear_degradation()
+        self.backward.clear_degradation()
 
     @property
     def is_up(self) -> bool:

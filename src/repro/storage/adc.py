@@ -25,12 +25,21 @@ Failure handling mirrors a real array: journal overflow or a persistently
 down link suspends the pairs (``PSUE``); writes then continue *without
 protection* and are tracked as dirty blocks so a later ``resync`` can
 re-establish the mirror.
+
+**End-to-end integrity**: every journal entry carries a CRC32 computed at
+append time, verified at *transfer-receive* (before ingest into the
+backup journal) and again at *restore-apply* (before the media write).
+A failed check quarantines the entry — the corrupted payload never
+touches a secondary volume — marks its block dirty, suspends the pairs
+(``PSUE``), and, when ``AdcConfig.auto_repair`` is on, drives an
+automated **targeted resync** that re-journals only the affected dirty
+ranges once the link is healthy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional
 
 from repro.errors import ReplicationError
 from repro.simulation.network import LinkDownError, NetworkLink
@@ -69,6 +78,18 @@ class AdcConfig:
     #: operations synchronise anyway.  Real arrays restore with internal
     #: parallelism like this; E8 sweeps the knob.
     restore_concurrency: int = 1
+    #: verify entry CRC32s at transfer-receive and restore-apply.
+    #: Disabling reproduces the silent-corruption baseline the chaos
+    #: campaigns contrast against.
+    verify_integrity: bool = True
+    #: after an integrity quarantine, automatically resync the affected
+    #: dirty ranges once the link is healthy (self-healing repair)
+    auto_repair: bool = True
+    #: wake-up period of the auto-repair loop
+    repair_delay: float = 0.02
+    #: auto-repair wake-ups before giving up (operator takes over);
+    #: :meth:`JournalGroup.ensure_repair` re-arms the loop
+    repair_max_attempts: int = 200
 
     def __post_init__(self) -> None:
         if self.transfer_interval <= 0 or self.restore_interval <= 0:
@@ -81,6 +102,10 @@ class AdcConfig:
             raise ValueError("interval_jitter must be in [0, 1)")
         if self.journal_append_latency < 0:
             raise ValueError("journal_append_latency must be >= 0")
+        if self.repair_delay <= 0:
+            raise ValueError("repair_delay must be > 0")
+        if self.repair_max_attempts < 1:
+            raise ValueError("repair_max_attempts must be >= 1")
 
 
 class JournalGroup:
@@ -114,7 +139,15 @@ class JournalGroup:
         self.applying = False
         self._running = False
         self._transfer_enabled = True
-        self._procs = []
+        self._transfer_proc = None
+        self._restore_proc = None
+        self._repair_proc = None
+        #: entries whose CRC32 failed; never applied, kept for forensics
+        self.quarantine: List[JournalEntry] = []
+        #: fault-injection hook: transforms each entry as it crosses the
+        #: wire (chaos wire-corruption faults install one); None = clean
+        self._wire_injector: Optional[
+            Callable[[JournalEntry], JournalEntry]] = None
         # -- observability ---------------------------------------------------
         # instruments live in the simulation's metrics registry, keyed
         # by group; the attributes below are the same objects the
@@ -151,6 +184,18 @@ class JournalGroup:
             "repro_journal_transfer_bytes_total",
             help="Wire bytes shipped over the inter-site link",
             unit="bytes", group=group_id)
+        self.corruptions_wire = registry.counter(
+            "repro_integrity_corruptions_detected_total",
+            help="Entry CRC32 failures caught before reaching the backup",
+            where="wire", source=group_id)
+        self.corruptions_journal = registry.counter(
+            "repro_integrity_corruptions_detected_total",
+            help="Entry CRC32 failures caught before reaching the backup",
+            where="journal", source=group_id)
+        self.repair_resyncs = registry.counter(
+            "repro_repair_resyncs_total",
+            help="Automated targeted resyncs driven by integrity repair",
+            group=group_id)
 
     # -- pair management ------------------------------------------------------
 
@@ -279,6 +324,70 @@ class JournalGroup:
         """Operator-initiated suspension (PSUS): stop propagating."""
         self._suspend(PairState.PSUS, "split by operator")
 
+    # -- integrity quarantine / self-healing repair ---------------------------
+
+    def install_wire_injector(self, injector: Optional[
+            Callable[[JournalEntry], JournalEntry]]) -> None:
+        """Install (or clear, with None) the wire fault-injection hook.
+
+        The injector sees every entry between link transfer and backup
+        ingest; chaos wire-corruption faults use it to flip payload bits
+        without touching the checksum.
+        """
+        self._wire_injector = injector
+
+    def _quarantine_entry(self, entry: JournalEntry, where: str) -> None:
+        """Handle a CRC32 failure: quarantine, mark dirty, suspend, heal.
+
+        The corrupted payload is never applied; the affected block is
+        marked dirty on its pair so the repair resync re-journals *only
+        the damaged range* from the primary's intact copy.
+        """
+        self.quarantine.append(entry)
+        counter = self.corruptions_wire if where == "wire" \
+            else self.corruptions_journal
+        counter.increment()
+        pair = self._pairs_by_pvol.get(entry.volume_id)
+        if pair is not None:
+            pair.mark_dirty(entry.volume_id, entry.block)
+        self._suspend(
+            PairState.PSUE,
+            f"integrity: corrupt entry seq={entry.sequence} "
+            f"vol={entry.volume_id} block={entry.block} ({where})")
+        self.ensure_repair()
+
+    def ensure_repair(self) -> None:
+        """Arm the auto-repair loop if suspended and not already armed.
+
+        Called automatically on quarantine; chaos/operator code calls it
+        again after healing a long outage if the loop gave up.
+        """
+        if not self.config.auto_repair or not self.suspended:
+            return
+        if self._repair_proc is not None and self._repair_proc.alive:
+            return
+        self._repair_proc = self.sim.spawn(
+            self._auto_repair(), name=f"jg-{self.group_id}.repair")
+
+    def _auto_repair(self) -> Generator[object, object, None]:
+        """Self-healing loop: resync the dirty delta once the link is up.
+
+        Wakes every ``repair_delay`` until the resync sticks (the pairs
+        leave PSUE) or ``repair_max_attempts`` wake-ups pass — a resync
+        can be re-suspended by a refilled journal, so one attempt is not
+        always enough.
+        """
+        attempts = 0
+        while self.suspended and attempts < self.config.repair_max_attempts:
+            attempts += 1
+            yield self.sim.timeout(self.config.repair_delay)
+            if not self.suspended:
+                return
+            if not self.link.is_up:
+                continue  # wait out the partition, then repair
+            self.repair_resyncs.increment()
+            yield from self.resync()
+
     def resync(self) -> Generator[object, object, None]:
         """Re-establish the mirror after a suspension.
 
@@ -298,7 +407,8 @@ class JournalGroup:
         rejournaled = 0
         try:
             for pair in self.pairs.values():
-                for volume_id, block in sorted(pair.take_dirty()):
+                pending = sorted(pair.take_dirty())
+                for index, (volume_id, block) in enumerate(pending):
                     value = pair.pvol.peek(block)
                     if value is None:
                         continue
@@ -310,7 +420,12 @@ class JournalGroup:
                         trace_id=resync_span.trace_id,
                         span_id=resync_span.span_id)
                     if entry is None:
-                        # suspended again (journal refilled)
+                        # suspended again (journal refilled or a fresh
+                        # quarantine): the current block was re-marked
+                        # dirty by _append_entry, but the rest of the
+                        # consumed set must survive for the next attempt
+                        for remaining in pending[index + 1:]:
+                            pair.mark_dirty(*remaining)
                         self.tracer.finish(resync_span, status="suspended",
                                            rejournaled=rejournaled)
                         return
@@ -329,10 +444,12 @@ class JournalGroup:
         if self._running:
             return
         self._running = True
-        self._procs.append(self.sim.spawn(
-            self._transfer_loop(), name=f"jg-{self.group_id}.transfer"))
-        self._procs.append(self.sim.spawn(
-            self._restore_loop(), name=f"jg-{self.group_id}.restore"))
+        if self._transfer_proc is None or not self._transfer_proc.alive:
+            self._transfer_proc = self.sim.spawn(
+                self._transfer_loop(), name=f"jg-{self.group_id}.transfer")
+        if self._restore_proc is None or not self._restore_proc.alive:
+            self._restore_proc = self.sim.spawn(
+                self._restore_loop(), name=f"jg-{self.group_id}.restore")
 
     def stop(self) -> None:
         """Stop both loops at their next wake-up."""
@@ -342,6 +459,17 @@ class JournalGroup:
         """Stop only the transfer side (main-site disaster): the restore
         loop keeps draining what already reached the backup journal."""
         self._transfer_enabled = False
+
+    def restart(self) -> None:
+        """Restart dead pipelines after an array crash/repair.
+
+        Re-enables the transfer side and re-spawns whichever background
+        loops have exited; running loops are left alone.  Chaos
+        array-crash faults use this to model crash *and restart*.
+        """
+        self._transfer_enabled = True
+        self._running = False
+        self.start()
 
     def _jittered(self, base: float, stream: str) -> float:
         if self.config.interval_jitter == 0:
@@ -375,19 +503,44 @@ class JournalGroup:
             except LinkDownError:
                 self.tracer.finish(batch_span, status="link-down")
                 continue  # entries stay journaled; retried next wake-up
-            try:
-                for entry in batch:
-                    self.backup_journal.ingest(entry)
-            except JournalFullError:
-                self._suspend(PairState.PSUE, "backup journal full")
-                self.tracer.finish(batch_span, status="backup-full")
-                continue
-            self.main_journal.pop_through(batch[-1].sequence)
-            self.transferred_sequence = batch[-1].sequence
-            self.transferred_count.increment(len(batch))
-            self.transfer_batches.increment()
-            self.transfer_bytes.increment(payload_bytes)
-            self.tracer.finish(batch_span)
+            delivered = -1
+            delivered_count = 0
+            delivered_bytes = 0
+            status = "ok"
+            for entry in batch:
+                wired = self._wire_injector(entry) \
+                    if self._wire_injector is not None else entry
+                if self.config.verify_integrity \
+                        and not wired.verify_checksum():
+                    # corruption picked up on the wire: quarantine the
+                    # entry at the receive side — it must never be
+                    # ingested — and suspend for a targeted repair
+                    delivered = entry.sequence  # consumed (quarantined)
+                    self._quarantine_entry(wired, where="wire")
+                    status = "integrity"
+                    break
+                try:
+                    self.backup_journal.ingest(wired)
+                except JournalFullError:
+                    self._suspend(PairState.PSUE, "backup journal full")
+                    status = "backup-full"
+                    break
+                delivered = entry.sequence
+                delivered_count += 1
+                delivered_bytes += entry.size_bytes
+            if delivered >= 0:
+                # trim exactly what was consumed (ingested or
+                # quarantined); the rest of the batch stays journaled
+                # and re-ships after the suspension heals
+                self.main_journal.pop_through(delivered)
+            if delivered_count:
+                self.transferred_sequence = max(self.transferred_sequence,
+                                                delivered)
+                self.transferred_count.increment(delivered_count)
+                self.transfer_bytes.increment(delivered_bytes)
+            if status == "ok":
+                self.transfer_batches.increment()
+            self.tracer.finish(batch_span, status=status)
             self._sample_lag()
 
     def _restore_loop(self) -> Generator[object, object, None]:
@@ -459,6 +612,14 @@ class JournalGroup:
             parent_id=entry.span_id, group=self.group_id,
             volume=entry.volume_id, block=entry.block,
             sequence=entry.sequence, version=entry.version)
+        if self.config.verify_integrity and not entry.verify_checksum():
+            # corruption inside the journal volume (torn/bit-rotted
+            # write): quarantine before the media write — the payload
+            # never reaches the secondary volume
+            self._quarantine_entry(entry, where="journal")
+            self.tracer.finish(span, status="integrity", applied=False,
+                               reason="checksum mismatch")
+            return
         svol = self._svol_by_pvol.get(entry.volume_id)
         if svol is None:
             # pair deleted while entries were in flight

@@ -32,7 +32,7 @@ from repro.simulation.kernel import Simulator
 from repro.simulation.network import NetworkLink
 from repro.storage.adc import AdcConfig, JournalGroup
 from repro.storage.history import WriteHistory, WriteRecord
-from repro.storage.journal import JournalVolume
+from repro.storage.journal import JournalVolume, payload_checksum
 from repro.storage.pool import StoragePool
 from repro.storage.replication import CopyMode, PairState, ReplicationPair
 from repro.storage.sdc import SdcConfig, SyncMirror
@@ -605,7 +605,9 @@ class StorageArray:
         max_version = 0
         for block, payload in snapshot.image_blocks().items():
             version = snapshot.version_of(block)
-            clone._blocks[block] = BlockValue(bytes(payload), version)
+            clone._blocks[block] = BlockValue(
+                bytes(payload), version,
+                checksum=payload_checksum(payload))
             max_version = max(max_version, version)
         clone._version_counter = max_version
         self._audit("clone_snapshot", snapshot_id=snapshot_id,

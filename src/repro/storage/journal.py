@@ -16,9 +16,15 @@ journal fills.
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Deque, List, Optional
+
+
+def payload_checksum(payload: bytes) -> int:
+    """CRC32 of a payload, the integrity metadata of the data path."""
+    return zlib.crc32(bytes(payload)) & 0xFFFFFFFF
 
 
 @dataclass(frozen=True)
@@ -27,7 +33,10 @@ class JournalEntry:
 
     ``sequence`` orders entries within one journal; ``version`` is the
     per-volume version installed by the write (used when applying to the
-    secondary so block maps stay comparable).
+    secondary so block maps stay comparable).  ``checksum`` is the CRC32
+    of the payload computed at append time; it travels with the entry so
+    the transfer-receive and restore-apply sides can detect corruption
+    picked up on the wire or in the journal volume.
     """
 
     sequence: int
@@ -36,6 +45,9 @@ class JournalEntry:
     payload: bytes
     version: int
     created_at: float
+    #: CRC32 of ``payload`` at append time (None for hand-built legacy
+    #: entries, which then skip verification)
+    checksum: Optional[int] = None
     #: telemetry trace context riding with the entry across the
     #: site-to-site hop (None when the write was not traced), so the
     #: restore apply at the backup can parent its span to the
@@ -47,6 +59,12 @@ class JournalEntry:
     def size_bytes(self) -> int:
         """Wire size: payload plus a fixed 64-byte header."""
         return len(self.payload) + 64
+
+    def verify_checksum(self) -> bool:
+        """True when the payload still matches its append-time CRC32."""
+        if self.checksum is None:
+            return True
+        return payload_checksum(self.payload) == self.checksum
 
 
 class JournalFullError(Exception):
@@ -99,6 +117,7 @@ class JournalVolume:
         entry = JournalEntry(
             sequence=self._next_sequence, volume_id=volume_id, block=block,
             payload=bytes(payload), version=version, created_at=time,
+            checksum=payload_checksum(payload),
             trace_id=trace_id, span_id=span_id)
         self._next_sequence += 1
         self.head_sequence = entry.sequence
@@ -144,6 +163,31 @@ class JournalVolume:
     def snapshot_entries(self) -> List[JournalEntry]:
         """Copy of all retained entries (failover drain / tests)."""
         return list(self._entries)
+
+    def corrupt_entry(self, index: int,
+                      mutate: Optional[Callable[[bytes], bytes]] = None,
+                      ) -> Optional[JournalEntry]:
+        """Fault injection: corrupt the payload of the ``index``-th
+        retained entry *in place* without updating its checksum.
+
+        Models a torn/bit-rotted write inside the journal volume medium.
+        ``mutate`` transforms the payload (default flips the first byte
+        and truncates — a torn write).  Returns the corrupted entry, or
+        None when the journal holds fewer than ``index + 1`` entries.
+        """
+        if index < 0 or index >= len(self._entries):
+            return None
+        entry = self._entries[index]
+        if mutate is None:
+            payload = entry.payload
+            flipped = bytes([payload[0] ^ 0xFF]) + payload[1:] \
+                if payload else b"\xff"
+            mutated = flipped[:max(1, len(flipped) - 1)]
+        else:
+            mutated = bytes(mutate(entry.payload))
+        corrupted = replace(entry, payload=mutated)
+        self._entries[index] = corrupted
+        return corrupted
 
     def clear(self) -> None:
         """Drop every retained entry (pair deletion)."""

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SnapshotError
+from repro.storage.journal import payload_checksum
 from repro.storage.volume import BlockValue, SnapshotView, Volume
 
 #: Snapshot views expose ids in a disjoint range from real volumes so that
@@ -99,7 +100,8 @@ class Snapshot:
         self._check_live()
         self._overlay_version += 1
         version = self.base.version_counter + self._overlay_version
-        self._overlay[block] = BlockValue(bytes(payload), version)
+        self._overlay[block] = BlockValue(
+            bytes(payload), version, checksum=payload_checksum(payload))
         return version
 
     def image_blocks(self) -> Dict[int, bytes]:

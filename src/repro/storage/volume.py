@@ -18,7 +18,8 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
-from repro.errors import VolumeError
+from repro.errors import IntegrityError, VolumeError
+from repro.storage.journal import payload_checksum
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.kernel import Simulator
@@ -47,10 +48,22 @@ class VolumeStatus(enum.Enum):
 
 @dataclass(frozen=True)
 class BlockValue:
-    """Payload and version stored in one block."""
+    """Payload and version stored in one block.
+
+    ``checksum`` is the payload's CRC32 installed by the write path;
+    reads verify it so media corruption can never be returned silently.
+    ``None`` (hand-built values, pre-checksum clones) skips verification.
+    """
 
     payload: bytes
     version: int
+    checksum: Optional[int] = None
+
+    def intact(self) -> bool:
+        """True when the payload still matches its write-time CRC32."""
+        if self.checksum is None:
+            return True
+        return payload_checksum(self.payload) == self.checksum
 
 
 @dataclass(frozen=True)
@@ -146,7 +159,13 @@ class Volume:
             yield self.sim.timeout(self.media.read_latency)
         self.reads += 1
         value = self._blocks.get(block)
-        return value.payload if value is not None else None
+        if value is None:
+            return None
+        if not value.intact():
+            raise IntegrityError(
+                f"{self.name}: block {block} failed its CRC32 check "
+                f"(v{value.version})")
+        return value.payload
 
     def write_block(self, block: int, payload: bytes,
                     version: Optional[int] = None,
@@ -176,7 +195,8 @@ class Volume:
                     f"{self.name}: out-of-order apply to block {block}: "
                     f"have v{current.version}, got v{version}")
             self._version_counter = max(self._version_counter, version)
-        self._blocks[block] = BlockValue(bytes(payload), version)
+        self._blocks[block] = BlockValue(bytes(payload), version,
+                                         checksum=payload_checksum(payload))
         self.writes += 1
         return version
 

@@ -1,0 +1,137 @@
+"""In-doubt resolution of decided-commit transactions.
+
+Once the coordinator's global COMMIT record is durable, the transaction
+will commit in every recovery of the storage image — so the *live* site
+must treat it the same way: a crash during Phase 2 parks the handle on
+the coordinator's ``in_doubt`` map with its locks held, and
+``resolve_in_doubt`` re-drives Phase 2 once storage heals.  Abandoning
+such a transaction (the old behaviour) silently diverges the live site
+from every recoverable image: siblings read stock quantities that
+pretend the decided order never happened, and a later failover
+resurrects it.
+"""
+
+import pytest
+
+from repro.apps.minidb import MemoryBlockDevice, MiniDB, TwoPhaseCoordinator
+from repro.errors import (StorageError, TransactionError,
+                          TwoPhaseCommitError)
+from repro.simulation import Simulator
+from tests.apps.conftest import run
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=77)
+
+
+def make_pair(sim, lock_timeout=None):
+    sales = MiniDB(sim, "sales", wal_device=MemoryBlockDevice(4096),
+                   data_device=MemoryBlockDevice(64), bucket_count=8,
+                   lock_timeout=lock_timeout)
+    stock = MiniDB(sim, "stock", wal_device=MemoryBlockDevice(4096),
+                   data_device=MemoryBlockDevice(64), bucket_count=8,
+                   lock_timeout=lock_timeout)
+    return sales, stock, TwoPhaseCoordinator(sales, [sales, stock])
+
+
+def crash_in_phase_two(sim, stock, coord):
+    """One dtx crashed after the decision: sales applied, stock prepared."""
+    dtx = coord.begin()
+    run(sim, dtx.put("sales", "order:1", "{}"))
+    run(sim, dtx.put("stock", "qty:widget", "7"))
+    original = stock.commit_prepared
+
+    def dead_storage(txn):
+        raise StorageError("array died under the commit")
+        yield  # pragma: no cover
+
+    stock.commit_prepared = dead_storage
+    with pytest.raises(StorageError):
+        run(sim, dtx.commit())
+    stock.commit_prepared = original
+    dtx.dispose()
+    return dtx
+
+
+class TestDecidedCommitSurvivesCrash:
+    def test_dispose_parks_decided_commit_in_doubt(self, sim):
+        sales, stock, coord = make_pair(sim)
+        dtx = crash_in_phase_two(sim, stock, coord)
+        assert coord.in_doubt == {dtx.gtid: dtx}
+        # the decided write is not yet readable at the crashed branch...
+        assert run(sim, stock.read("qty:widget")) is None
+        # ...but the branch that applied before the crash is
+        assert run(sim, sales.read("order:1")) == "{}"
+        # and the order is not yet counted as committed
+        assert dtx.gtid not in coord.committed_gtids
+
+    def test_in_doubt_transaction_keeps_its_locks(self, sim):
+        sales, stock, coord = make_pair(sim, lock_timeout=0.02)
+        crash_in_phase_two(sim, stock, coord)
+        sibling = coord.begin()
+        with pytest.raises(TransactionError):
+            run(sim, sibling.get_for_update("stock", "qty:widget"))
+        sibling.dispose()
+
+    def test_resolve_finishes_phase_two(self, sim):
+        sales, stock, coord = make_pair(sim)
+        dtx = crash_in_phase_two(sim, stock, coord)
+        assert run(sim, coord.resolve_in_doubt()) == 1
+        assert coord.in_doubt == {}
+        assert run(sim, stock.read("qty:widget")) == "7"
+        assert coord.committed_gtids.count(dtx.gtid) == 1
+        # locks are free again
+        sibling = coord.begin()
+        assert run(sim, sibling.get_for_update("stock", "qty:widget")) \
+            == "7"
+        run(sim, sibling.abort())
+
+    def test_failed_resolution_stays_parked_and_retries(self, sim):
+        sales, stock, coord = make_pair(sim)
+        dtx = crash_in_phase_two(sim, stock, coord)
+        original = stock.commit_prepared
+
+        def still_down(txn):
+            raise StorageError("array still down")
+            yield  # pragma: no cover
+
+        stock.commit_prepared = still_down
+        with pytest.raises(StorageError):
+            run(sim, coord.resolve_in_doubt())
+        assert dtx.gtid in coord.in_doubt
+        stock.commit_prepared = original
+        assert run(sim, coord.resolve_in_doubt()) == 1
+        assert run(sim, stock.read("qty:widget")) == "7"
+
+
+class TestUndecidedCrashStillPresumesAbort:
+    def test_crash_before_decision_releases_everything(self, sim):
+        sales, stock, coord = make_pair(sim, lock_timeout=0.02)
+        dtx = coord.begin()
+        run(sim, dtx.put("sales", "order:1", "{}"))
+        run(sim, dtx.put("stock", "qty:widget", "7"))
+        original = stock.prepare
+
+        def dead_prepare(txn, gtid):
+            raise StorageError("array died before the vote")
+            yield  # pragma: no cover
+
+        stock.prepare = dead_prepare
+        with pytest.raises(StorageError):
+            run(sim, dtx.commit())
+        stock.prepare = original
+        dtx.dispose()
+        # no durable decision: presumed abort, nothing parked, locks free
+        assert coord.in_doubt == {}
+        sibling = coord.begin()
+        assert run(sim, sibling.get_for_update("stock", "qty:widget")) \
+            is None
+        run(sim, sibling.abort())
+
+    def test_resolve_rejects_undecided_transaction(self, sim):
+        sales, stock, coord = make_pair(sim)
+        dtx = coord.begin()
+        run(sim, dtx.put("stock", "qty:widget", "7"))
+        with pytest.raises(TwoPhaseCommitError):
+            run(sim, dtx.resolve())

@@ -1,0 +1,10 @@
+"""Shared fixtures for chaos-engine tests."""
+
+import pytest
+
+from repro.simulation import Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=11)

@@ -1,0 +1,136 @@
+"""Property-based tests of the inter-site network link model.
+
+Two promises the replication pipeline leans on:
+
+* **FIFO wire** — propagation jitter may stretch or shrink individual
+  delays, but it never delivers transfer N+1 before transfer N (the
+  journal's sequence ordering depends on this);
+* **prompt interruption** — a ``fail()`` wakes transfers sleeping in
+  either the serialisation or the propagation leg at the failure
+  instant, instead of letting them "complete" over a dead wire.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import Simulator
+from repro.simulation.network import (LinkDownError, NetworkLink,
+                                      TransferDroppedError)
+
+
+def run(sim, generator):
+    return sim.run_until_complete(sim.spawn(generator))
+
+
+class TestFifoOrdering:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           jitter=st.floats(min_value=0.1, max_value=0.9),
+           gaps=st.lists(st.floats(min_value=0.0, max_value=0.002),
+                         min_size=2, max_size=12))
+    def test_jitter_never_reorders_arrivals(self, seed, jitter, gaps):
+        sim = Simulator(seed=seed)
+        link = NetworkLink(sim, latency=0.004, jitter_fraction=jitter,
+                           name="fifo")
+        arrivals = []
+
+        def sender(index):
+            yield from link.transfer(128)
+            arrivals.append((index, sim.now))
+
+        def staggered():
+            for index, gap in enumerate(gaps):
+                sim.spawn(sender(index))
+                yield sim.timeout(gap)
+
+        run(sim, staggered())
+        sim.run(until=sim.now + 1.0)
+        assert len(arrivals) == len(gaps)
+        # completion order is start order, and times are monotone
+        assert [index for index, _time in arrivals] == list(range(len(gaps)))
+        times = [time for _index, time in arrivals]
+        assert times == sorted(times)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           sizes=st.lists(st.integers(1, 4000), min_size=2, max_size=8))
+    def test_fifo_holds_with_bandwidth_serialisation(self, seed, sizes):
+        sim = Simulator(seed=seed)
+        link = NetworkLink(sim, latency=0.003,
+                           bandwidth_bytes_per_s=1_000_000,
+                           jitter_fraction=0.5, name="fifo-bw")
+        arrivals = []
+
+        def sender(index, size):
+            yield from link.transfer(size)
+            arrivals.append(index)
+
+        for index, size in enumerate(sizes):
+            sim.spawn(sender(index, size))
+        sim.run(until=sim.now + 1.0)
+        assert arrivals == list(range(len(sizes)))
+
+
+class TestMidFlightInterruption:
+    # 60 bytes at 1000 B/s + 40 ms propagation: the transfer nominally
+    # takes 100 ms, split across both legs
+    LATENCY = 0.04
+    BANDWIDTH = 1000.0
+    PAYLOAD = 60
+
+    def build(self, seed=3):
+        sim = Simulator(seed=seed)
+        link = NetworkLink(sim, latency=self.LATENCY,
+                           bandwidth_bytes_per_s=self.BANDWIDTH,
+                           name="cuttable")
+        return sim, link
+
+    @settings(max_examples=40, deadline=None)
+    @given(fail_at=st.floats(min_value=0.001, max_value=0.099))
+    def test_failure_observed_at_the_failure_instant(self, fail_at):
+        """Covers both legs: fail_at < 60 ms cuts the serialisation leg,
+        later instants cut the propagation leg."""
+        sim, link = self.build()
+        outcome = {}
+
+        def sender():
+            try:
+                yield from link.transfer(self.PAYLOAD)
+            except LinkDownError:
+                outcome["failed_at"] = sim.now
+            else:  # pragma: no cover - would mean the cut was missed
+                outcome["completed_at"] = sim.now
+
+        sim.spawn(sender())
+        sim.run(until=fail_at)
+        link.fail()
+        sim.run(until=1.0)
+        assert "completed_at" not in outcome
+        assert outcome["failed_at"] == pytest.approx(fail_at)
+
+    def test_transfer_completes_when_link_stays_up(self):
+        sim, link = self.build()
+        elapsed = run(sim, link.transfer(self.PAYLOAD))
+        assert elapsed == pytest.approx(
+            self.PAYLOAD / self.BANDWIDTH + self.LATENCY)
+
+    def test_new_transfer_rejected_while_down(self):
+        sim, link = self.build()
+        link.fail()
+        with pytest.raises(LinkDownError):
+            run(sim, link.transfer(self.PAYLOAD))
+        link.restore()
+        assert run(sim, link.transfer(self.PAYLOAD)) > 0
+
+    def test_brownout_drop_costs_the_full_delay(self):
+        """A dropped transfer raises only after its nominal delay — the
+        sender learns of the loss by timeout, like a real lost packet."""
+        sim, link = self.build()
+        link.degrade(loss_fraction=1.0)
+        start = sim.now
+        with pytest.raises(TransferDroppedError):
+            run(sim, link.transfer(self.PAYLOAD))
+        assert sim.now - start == pytest.approx(
+            self.PAYLOAD / self.BANDWIDTH + self.LATENCY)
+        assert link.transfers_dropped == 1

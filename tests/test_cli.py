@@ -33,6 +33,16 @@ class TestParser:
         assert args.json
         assert args.seed == 2025
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.campaign == "quick"
+        assert args.seed == 7
+        assert not args.no_failover
+
+    def test_chaos_rejects_unknown_preset(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--campaign", "gentle"])
+
 
 class TestCommands:
     def test_demo_command_prints_summary(self, capsys):
@@ -87,3 +97,10 @@ class TestCommands:
         assert "restore-apply" in output
         assert "transfer-batch" in output
         assert "replication lag (RPO) from spans" in output
+
+    def test_chaos_command_runs_quick_campaign(self, capsys):
+        assert main(["chaos", "--campaign", "quick", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "chaos campaign 'quick' seed=7: PASS" in output
+        assert "fault timeline" in output
+        assert "invariant violations: none" in output
