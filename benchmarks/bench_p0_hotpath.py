@@ -1,0 +1,40 @@
+"""P0 — hot-path microbenchmarks (wall-clock, not simulated time).
+
+Unlike E1–E8, which assert the *shape* of simulated behaviour, this
+suite times the Python hot paths the replication pipeline runs on:
+journal append/drain throughput, kernel event scheduling, the
+end-to-end restore drain rate, and one E1 scenario cell as the macro
+guard.  The emitted ``BENCH_PERF.json`` is the committed baseline the
+CI perf-smoke job gates against (``repro perf --quick --check``).
+
+Absolute numbers are machine-dependent, so the assertions here check
+only the schema and sanity of the facts (every metric present,
+positive, with an explicit direction) — the regression gate compares
+ratios against a same-machine baseline instead.
+"""
+
+from repro.bench import run_perf
+
+#: every microbench the suite must report, with its direction
+EXPECTED_METRICS = {
+    "journal_append": True,
+    "journal_drain": True,
+    "kernel_events": True,
+    "restore_drain": True,
+    "e1_cell": False,
+}
+
+
+def test_p0_hotpath(experiment):
+    table, facts = experiment(run_perf, quick=True)
+    assert facts["mode"] == "quick"
+    metrics = facts["metrics"]
+    assert set(metrics) == set(EXPECTED_METRICS)
+    for name, higher_is_better in EXPECTED_METRICS.items():
+        metric = metrics[name]
+        assert metric["value"] > 0, name
+        assert metric["higher_is_better"] is higher_is_better, name
+    # drain must beat append: trimming a retained window has to be
+    # cheaper than building it (the O(1)-amortized ring contract)
+    assert (metrics["journal_drain"]["value"]
+            > metrics["journal_append"]["value"])

@@ -10,6 +10,8 @@ from repro.bench.experiments import (run_d0_demo, run_e1_slowdown,
                                      run_e4_snapshot, run_e5_analytics,
                                      run_e6_downtime, run_e7_journal,
                                      run_e8_cg_scale)
+from repro.bench.perf import (compare_perf, load_perf_baseline, run_perf,
+                              write_perf_json)
 from repro.bench.setups import (ALL_MODES, MODE_ADC_CG, MODE_ADC_NOCG,
                                 MODE_NONE, MODE_SDC, ExperimentSystem,
                                 build_business_system,
@@ -26,8 +28,10 @@ __all__ = [
     "MODE_SDC",
     "Table",
     "build_business_system",
+    "compare_perf",
     "configure_sdc_protection",
     "experiment_config",
+    "load_perf_baseline",
     "run_d0_demo",
     "run_e1_slowdown",
     "run_e2_collapse",
@@ -37,4 +41,6 @@ __all__ = [
     "run_e6_downtime",
     "run_e7_journal",
     "run_e8_cg_scale",
+    "run_perf",
+    "write_perf_json",
 ]

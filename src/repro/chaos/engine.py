@@ -465,15 +465,20 @@ class ChaosEngine:
 def run_campaign(seed: int, preset: str = "quick",
                  verify_failover: bool = True,
                  monitor_config: MonitorConfig = MonitorConfig(),
+                 adc_overrides: Optional[dict] = None,
                  ) -> ChaosReport:
-    """Build an environment, generate the preset's plan, run it."""
+    """Build an environment, generate the preset's plan, run it.
+
+    ``adc_overrides`` reconfigures the replication engine under test
+    (e.g. ``coalesce_overwrites=True`` to storm the coalescing path).
+    """
     try:
         campaign = PRESETS[preset]
     except KeyError:
         raise ValueError(
             f"unknown campaign preset {preset!r}; "
             f"choose from {sorted(PRESETS)}") from None
-    env = build_chaos_environment(seed)
+    env = build_chaos_environment(seed, adc_overrides=adc_overrides)
     plan = build_plan(env.sim, campaign)
     engine = ChaosEngine(env, plan, monitor_config=monitor_config)
     return engine.run(verify_failover=verify_failover)

@@ -15,6 +15,9 @@ Commands:
 * ``chaos``    — run a seeded fault-injection campaign against a
   protected business process and verify the robustness invariants
   (exit 1 on any violation);
+* ``perf``     — run the hot-path microbenchmark suite, write
+  ``BENCH_PERF.json``, and optionally gate against a committed
+  baseline (exit 1 on regression);
 * ``report``   — regenerate every EXPERIMENTS.md table.
 """
 
@@ -114,6 +117,45 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import os
+    import pathlib
+
+    from repro.bench.perf import (compare_perf, load_perf_baseline,
+                                  run_perf, write_perf_json)
+    table, facts = run_perf(quick=args.quick)
+    print(table.render())
+    if args.output is not None:
+        output = pathlib.Path(args.output)
+    else:
+        bench_dir = pathlib.Path(os.environ.get("REPRO_BENCH_DIR", "."))
+        bench_dir.mkdir(parents=True, exist_ok=True)
+        output = bench_dir / "BENCH_PERF.json"
+    write_perf_json(output, table, facts)
+    print(f"[bench json: {output}]")
+    if args.check is None:
+        return 0
+    try:
+        baseline = load_perf_baseline(args.check)
+    except (OSError, KeyError, ValueError) as exc:
+        raise SystemExit(
+            f"repro: cannot load perf baseline {args.check!r}: {exc}")
+    try:
+        problems = compare_perf(facts, baseline,
+                                max_regression=args.max_regression)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+    if problems:
+        print()
+        print(f"perf regression vs {args.check}:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"perf gate passed vs {args.check} "
+          f"(tolerance {args.max_regression:.0%})")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.bench.report import main as report_main
     report_main(markdown=not args.text)
@@ -184,6 +226,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the final fail-and-recover "
                             "consistency verification")
     chaos.set_defaults(func=_cmd_chaos)
+
+    perf = sub.add_parser(
+        "perf", help="run the hot-path microbenchmark suite "
+                     "(journal, kernel, restore drain, E1 cell)")
+    perf.add_argument("--quick", action="store_true",
+                      help="CI-sized workloads instead of the full sizes")
+    perf.add_argument("--output", default=None,
+                      help="where to write BENCH_PERF.json (default: "
+                           "$REPRO_BENCH_DIR or the current directory)")
+    perf.add_argument("--check", default=None, metavar="BASELINE",
+                      help="gate against this committed BENCH_PERF.json; "
+                           "exit 1 when any microbench regresses beyond "
+                           "the tolerance")
+    perf.add_argument("--max-regression", type=float, default=0.30,
+                      help="allowed fractional regression per metric "
+                           "(default 0.30)")
+    perf.set_defaults(func=_cmd_perf)
 
     report = sub.add_parser(
         "report", help="regenerate every EXPERIMENTS.md table")

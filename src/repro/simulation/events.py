@@ -128,9 +128,16 @@ class Timeout(Event):
                  name: str = "") -> None:
         if delay < 0:
             raise SimTimeError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=name or f"timeout({delay:g})")
+        # the default debug label is rendered lazily in __repr__ —
+        # timeouts dominate event allocation and the f-string cost is
+        # measurable on the kernel hot path
+        super().__init__(sim, name=name)
         self.delay = delay
         sim._schedule_timeout(self, delay, value)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else f" ({self.delay:g}s)"
+        return f"<{type(self).__name__}#{self.event_id}{label} {self._state}>"
 
 
 class Condition(Event):

@@ -148,12 +148,9 @@ class Process:
                 f"{self!r} waited on {target!r} from another simulator"))
             return
         self._waiting_on = target
-        process = self
-
-        def _resume(event: Event) -> None:
-            process._step(event)
-
-        target.add_callback(_resume)
+        # the bound method is the resume callback directly — no closure
+        # allocation on the hot path (one wait per process step)
+        target.add_callback(self._step)
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "dead"

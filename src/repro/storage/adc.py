@@ -82,6 +82,19 @@ class AdcConfig:
     #: Disabling reproduces the silent-corruption baseline the chaos
     #: campaigns contrast against.
     verify_integrity: bool = True
+    #: collapse same-(volume, block) superseded overwrites within one
+    #: transfer batch: only the last writer of each address crosses the
+    #: wire.  CG sequence semantics are preserved — the survivor is by
+    #: construction the newest write of its address and the batch tail
+    #: always survives, so the restored cut still advances to the
+    #: window's high sequence.  Off by default (ship-everything is the
+    #: paper's §III-A1 baseline); E7 quantifies the wire-byte saving.
+    coalesce_overwrites: bool = False
+    #: minimum spacing between lag-gauge samples while the transfer
+    #: loop is idle (journal empty), so long idle soaks don't
+    #: accumulate one redundant sample per wake-up.  0 samples on
+    #: every idle wake-up.
+    idle_lag_sample_interval: float = 0.05
     #: after an integrity quarantine, automatically resync the affected
     #: dirty ranges once the link is healthy (self-healing repair)
     auto_repair: bool = True
@@ -102,6 +115,8 @@ class AdcConfig:
             raise ValueError("interval_jitter must be in [0, 1)")
         if self.journal_append_latency < 0:
             raise ValueError("journal_append_latency must be >= 0")
+        if self.idle_lag_sample_interval < 0:
+            raise ValueError("idle_lag_sample_interval must be >= 0")
         if self.repair_delay <= 0:
             raise ValueError("repair_delay must be > 0")
         if self.repair_max_attempts < 1:
@@ -148,6 +163,9 @@ class JournalGroup:
         #: wire (chaos wire-corruption faults install one); None = clean
         self._wire_injector: Optional[
             Callable[[JournalEntry], JournalEntry]] = None
+        #: simulated time of the last lag-gauge sample (bounds the idle
+        #: sampling cadence of the transfer loop)
+        self._lag_sampled_at = float("-inf")
         # -- observability ---------------------------------------------------
         # instruments live in the simulation's metrics registry, keyed
         # by group; the attributes below are the same objects the
@@ -184,6 +202,10 @@ class JournalGroup:
             "repro_journal_transfer_bytes_total",
             help="Wire bytes shipped over the inter-site link",
             unit="bytes", group=group_id)
+        self.coalesced_count = registry.counter(
+            "repro_transfer_coalesced_total",
+            help="Superseded overwrites collapsed before crossing the "
+                 "wire (coalesce_overwrites)", group=group_id)
         self.corruptions_wire = registry.counter(
             "repro_integrity_corruptions_detected_total",
             help="Entry CRC32 failures caught before reaching the backup",
@@ -274,20 +296,29 @@ class JournalGroup:
         its trace context to the backup site so the restore apply can
         close the causal chain.
         """
-        append_span = self.tracer.start(
-            "journal-append", parent=span, group=self.group_id,
-            volume=volume_id, block=block)
+        tracer = self.tracer
+        append_span = None
+        if tracer.enabled:
+            append_span = tracer.start(
+                "journal-append", parent=span, group=self.group_id,
+                volume=volume_id, block=block)
         if self.config.journal_append_latency > 0:
             yield self.sim.timeout(self.config.journal_append_latency)
+        if span is not None and span.trace_id is not None:
+            trace_id, span_id = span.trace_id, span.span_id
+        elif append_span is not None:
+            trace_id, span_id = append_span.trace_id, append_span.span_id
+        else:
+            trace_id = span_id = None
         entry = self._append_entry(
             volume_id, block, payload, version,
-            trace_id=span.trace_id if span else append_span.trace_id,
-            span_id=span.span_id if span else append_span.span_id)
+            trace_id=trace_id, span_id=span_id)
         protected = entry is not None
-        self.tracer.finish(
-            append_span, status="ok" if protected else "unprotected",
-            protected=protected,
-            sequence=entry.sequence if entry else None)
+        if append_span is not None:
+            tracer.finish(
+                append_span, status="ok" if protected else "unprotected",
+                protected=protected,
+                sequence=entry.sequence if entry else None)
         return protected
 
     def _append_entry(self, volume_id: int, block: int, payload: bytes,
@@ -478,100 +509,133 @@ class JournalGroup:
             f"jg.{self.group_id}.{stream}", base, self.config.interval_jitter)
 
     def _transfer_loop(self) -> Generator[object, object, None]:
+        config = self.config
         while self._running:
             yield self.sim.timeout(
-                self._jittered(self.config.transfer_interval, "transfer"))
+                self._jittered(config.transfer_interval, "transfer"))
             if not self._running:
                 return
             if not self._transfer_enabled:
                 return
             if self.suspended or not self.link.is_up:
                 continue
-            batch = self.main_journal.peek_batch(self.config.transfer_batch) \
+            batch = self.main_journal.peek_batch(config.transfer_batch) \
                 if len(self.main_journal) else []
             if not batch:
-                self._sample_lag()
+                # idle: keep the lag gauges fresh, but at a bounded
+                # cadence so long idle soaks don't accumulate one
+                # redundant sample per wake-up
+                if self.sim.now - self._lag_sampled_at \
+                        >= config.idle_lag_sample_interval:
+                    self._sample_lag()
                 continue
-            payload_bytes = sum(entry.size_bytes for entry in batch)
-            batch_span = self.tracer.start(
-                "transfer-batch", group=self.group_id,
-                entries=len(batch), bytes=payload_bytes,
-                first_sequence=batch[0].sequence,
-                last_sequence=batch[-1].sequence)
+            if config.coalesce_overwrites and len(batch) > 1:
+                # last-writer-wins within the batch: superseded
+                # same-address entries never cross the wire.  The
+                # survivor is by construction the newest write of its
+                # address, so trimming a superseded entry is safe
+                # exactly when its survivor has been consumed.
+                survivor: Optional[Dict[tuple, int]] = {}
+                for entry in batch:
+                    survivor[(entry.volume_id, entry.block)] = \
+                        entry.sequence
+                ship = [entry for entry in batch
+                        if survivor[(entry.volume_id, entry.block)]
+                        == entry.sequence]
+                if len(ship) < len(batch):
+                    self.coalesced_count.increment(len(batch) - len(ship))
+            else:
+                survivor = None
+                ship = batch
+            payload_bytes = sum(entry.size_bytes for entry in ship)
+            tracer = self.tracer
+            batch_span = None
+            if tracer.enabled:
+                batch_span = tracer.start(
+                    "transfer-batch", group=self.group_id,
+                    entries=len(ship), bytes=payload_bytes,
+                    coalesced=len(batch) - len(ship),
+                    first_sequence=ship[0].sequence,
+                    last_sequence=ship[-1].sequence)
             try:
                 yield from self.link.transfer(payload_bytes)
             except LinkDownError:
-                self.tracer.finish(batch_span, status="link-down")
+                if batch_span is not None:
+                    tracer.finish(batch_span, status="link-down")
                 continue  # entries stay journaled; retried next wake-up
-            delivered = -1
+            consumed = set()  # sequences ingested or quarantined
+            last_ingested = -1
             delivered_count = 0
             delivered_bytes = 0
             status = "ok"
-            for entry in batch:
-                wired = self._wire_injector(entry) \
-                    if self._wire_injector is not None else entry
-                if self.config.verify_integrity \
-                        and not wired.verify_checksum():
+            injector = self._wire_injector
+            verify = config.verify_integrity
+            backup_ingest = self.backup_journal.ingest
+            for entry in ship:
+                wired = injector(entry) if injector is not None else entry
+                if verify and not wired.verify_checksum():
                     # corruption picked up on the wire: quarantine the
                     # entry at the receive side — it must never be
                     # ingested — and suspend for a targeted repair
-                    delivered = entry.sequence  # consumed (quarantined)
+                    consumed.add(entry.sequence)
                     self._quarantine_entry(wired, where="wire")
                     status = "integrity"
                     break
                 try:
-                    self.backup_journal.ingest(wired)
+                    backup_ingest(wired)
                 except JournalFullError:
                     self._suspend(PairState.PSUE, "backup journal full")
                     status = "backup-full"
                     break
-                delivered = entry.sequence
+                consumed.add(entry.sequence)
+                last_ingested = entry.sequence
                 delivered_count += 1
                 delivered_bytes += entry.size_bytes
+            # trim the longest batch prefix in which every entry was
+            # consumed directly or superseded by a consumed survivor;
+            # the rest stays journaled and re-ships after the
+            # suspension heals
+            delivered = -1
+            for entry in batch:
+                key = entry.sequence if survivor is None \
+                    else survivor[(entry.volume_id, entry.block)]
+                if key not in consumed:
+                    break
+                delivered = entry.sequence
             if delivered >= 0:
-                # trim exactly what was consumed (ingested or
-                # quarantined); the rest of the batch stays journaled
-                # and re-ships after the suspension heals
                 self.main_journal.pop_through(delivered)
             if delivered_count:
                 self.transferred_sequence = max(self.transferred_sequence,
-                                                delivered)
+                                                last_ingested)
                 self.transferred_count.increment(delivered_count)
                 self.transfer_bytes.increment(delivered_bytes)
             if status == "ok":
                 self.transfer_batches.increment()
-            self.tracer.finish(batch_span, status=status)
+            if batch_span is not None:
+                tracer.finish(batch_span, status=status)
             self._sample_lag()
 
     def _restore_loop(self) -> Generator[object, object, None]:
+        config = self.config
+        gate = self.restore_gate
         while self._running:
             yield self.sim.timeout(
-                self._jittered(self.config.restore_interval, "restore"))
+                self._jittered(config.restore_interval, "restore"))
             if not self._running:
                 return
             applied = 0
-            while applied < self.config.restore_batch:
+            while applied < config.restore_batch:
                 if not self._running:
                     return
-                gate_wait = self.restore_gate.wait()
-                if gate_wait.pending:
-                    yield gate_wait
+                if not gate.is_open:
+                    yield gate.wait()
                 window = self._pick_restore_window(
-                    self.config.restore_batch - applied)
+                    config.restore_batch - applied)
                 if not window:
                     break
                 self.applying = True
                 try:
-                    if len(window) == 1:
-                        yield from self._apply_entry(window[0])
-                    else:
-                        # overlap media writes of non-conflicting blocks;
-                        # the window completes atomically w.r.t. quiesce
-                        joins = [self.sim.spawn(
-                            self._apply_entry(entry),
-                            name=f"jg-{self.group_id}.apply").join()
-                            for entry in window]
-                        yield self.sim.all_of(joins)
+                    yield from self._apply_window(window)
                     self.backup_journal.pop_through(window[-1].sequence)
                     self.restored_sequence = window[-1].sequence
                 finally:
@@ -602,39 +666,93 @@ class JournalGroup:
             window.append(entry)
         return window
 
+    def _verify_at_apply(self) -> bool:
+        """Whether restore-apply must re-verify entry checksums.
+
+        Integrity is normally checked **once at receive** (before ingest
+        into the backup journal); re-hashing every payload at apply time
+        would double the CRC cost of the whole pipeline for nothing.
+        The receive-side check stops covering an entry only when some
+        fault path can mutate it *after* ingest — a wire injector is
+        installed, or a journal-corruption fault has fired on either
+        journal volume — and only then does the apply side verify again,
+        preserving the zero-silent-corruption invariant.
+        """
+        return self.config.verify_integrity and (
+            self._wire_injector is not None
+            or self.main_journal.mutations > 0
+            or self.backup_journal.mutations > 0)
+
+    def _apply_window(self, window: List[JournalEntry],
+                      ) -> Generator[object, object, None]:
+        """Apply a non-conflicting window with one aggregated media wait.
+
+        Semantically equivalent to overlapping one apply process per
+        entry: the media writes proceed in parallel on distinct blocks,
+        so the window's simulated elapsed time is the *max* of the
+        per-entry apply costs (copy-on-write preservation plus the
+        write), after which every surviving payload installs.  Unlike
+        the per-entry fan-out this allocates no processes, no join
+        events and — when tracing is off — no spans.
+        """
+        tracer = self.tracer
+        tracing = tracer.enabled
+        verify = self._verify_at_apply()
+        svols = self._svol_by_pvol
+        delay = 0.0
+        installs = []
+        for entry in window:
+            # the restore-apply span parents to the *originating* span
+            # that journaled the entry (host-write / initial-copy /
+            # resync) — the context travelled inside the entry across
+            # the site hop
+            span = None
+            if tracing:
+                span = tracer.start(
+                    "restore-apply", trace_id=entry.trace_id,
+                    parent_id=entry.span_id, group=self.group_id,
+                    volume=entry.volume_id, block=entry.block,
+                    sequence=entry.sequence, version=entry.version)
+            if verify and not entry.verify_checksum():
+                # corruption inside the journal volume (torn/bit-rotted
+                # write): quarantine before the media write — the
+                # payload never reaches the secondary volume
+                self._quarantine_entry(entry, where="journal")
+                if span is not None:
+                    tracer.finish(span, status="integrity", applied=False,
+                                  reason="checksum mismatch")
+                continue
+            svol = svols.get(entry.volume_id)
+            if svol is None:
+                # pair deleted while entries were in flight
+                if span is not None:
+                    tracer.finish(span, status="skipped", applied=False,
+                                  reason="pair deleted")
+                continue
+            current = svol.peek(entry.block)
+            if current is not None and current.version >= entry.version:
+                # already applied (resync overlap)
+                if span is not None:
+                    tracer.finish(span, status="skipped", applied=False,
+                                  reason="stale version")
+                continue
+            cost = svol.apply_delay(entry.block)
+            if cost > delay:
+                delay = cost
+            installs.append((svol, entry, span))
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        for svol, entry, span in installs:
+            svol.install_block(entry.block, entry.payload, entry.version,
+                               checksum=entry.checksum)
+            if span is not None:
+                tracer.finish(span, applied=True)
+
     def _apply_entry(self, entry: JournalEntry,
                      ) -> Generator[object, object, None]:
-        # the restore-apply span parents to the *originating* span that
-        # journaled the entry (host-write / initial-copy / resync) — the
-        # context travelled inside the entry across the site hop
-        span = self.tracer.start(
-            "restore-apply", trace_id=entry.trace_id,
-            parent_id=entry.span_id, group=self.group_id,
-            volume=entry.volume_id, block=entry.block,
-            sequence=entry.sequence, version=entry.version)
-        if self.config.verify_integrity and not entry.verify_checksum():
-            # corruption inside the journal volume (torn/bit-rotted
-            # write): quarantine before the media write — the payload
-            # never reaches the secondary volume
-            self._quarantine_entry(entry, where="journal")
-            self.tracer.finish(span, status="integrity", applied=False,
-                               reason="checksum mismatch")
-            return
-        svol = self._svol_by_pvol.get(entry.volume_id)
-        if svol is None:
-            # pair deleted while entries were in flight
-            self.tracer.finish(span, status="skipped", applied=False,
-                               reason="pair deleted")
-            return
-        current = svol.peek(entry.block)
-        if current is not None and current.version >= entry.version:
-            # already applied (resync overlap)
-            self.tracer.finish(span, status="skipped", applied=False,
-                               reason="stale version")
-            return
-        yield from svol.write_block(
-            entry.block, entry.payload, version=entry.version)
-        self.tracer.finish(span, applied=True)
+        """Single-entry apply (failover drain path); same semantics as a
+        size-1 :meth:`_apply_window` but pays the media wait inline."""
+        yield from self._apply_window([entry])
 
     def _update_copy_states(self) -> None:
         for pair in self.pairs.values():
@@ -643,15 +761,14 @@ class JournalGroup:
                 pair.initial_copy_done = True
 
     def _sample_lag(self) -> None:
-        self.lag_entries.sample(self.sim.now, self.entry_lag)
-        oldest = self.main_journal.snapshot_entries()
-        if oldest:
-            self.lag_seconds.sample(
-                self.sim.now, self.sim.now - oldest[0].created_at)
-        else:
-            self.lag_seconds.sample(self.sim.now, 0.0)
+        now = self.sim.now
+        self._lag_sampled_at = now
+        self.lag_entries.sample(now, self.entry_lag)
+        oldest = self.main_journal.oldest_entry()
+        self.lag_seconds.sample(
+            now, now - oldest.created_at if oldest is not None else 0.0)
         self.peak_entries_gauge.sample(
-            self.sim.now, self.main_journal.peak_entries)
+            now, self.main_journal.peak_entries)
 
     # -- failover support ----------------------------------------------------
 

@@ -12,22 +12,38 @@ per-journal sequence counter.  Overflow (host writing faster than the
 link drains, or the link being down) is reported to the owner, which
 suspends the pair — mirroring how a real array drops to PSUE when a
 journal fills.
+
+Storage is a *sequence-indexed ring*: a list plus a head offset, kept
+sorted by sequence (appends are monotone by construction).  Every hot
+operation is O(1) amortised per entry — ``peek_batch`` is one slice,
+``pop_through`` advances the head after a binary search on the sequence
+column, and the oldest entry / retained byte total are direct reads —
+so the transfer loop never pays a per-index deque walk or a full-journal
+copy just to sample lag.
 """
 
 from __future__ import annotations
 
 import zlib
-from collections import deque
+from bisect import bisect_right
 from dataclasses import dataclass, replace
-from typing import Callable, Deque, List, Optional
+from operator import attrgetter
+from typing import Callable, List, Optional
 
 
 def payload_checksum(payload: bytes) -> int:
-    """CRC32 of a payload, the integrity metadata of the data path."""
-    return zlib.crc32(bytes(payload)) & 0xFFFFFFFF
+    """CRC32 of a payload, the integrity metadata of the data path.
+
+    Accepts any buffer (``bytes``, ``bytearray``, ``memoryview``)
+    without copying it first — ``zlib.crc32`` reads the buffer in place.
+    """
+    return zlib.crc32(payload) & 0xFFFFFFFF
 
 
-@dataclass(frozen=True)
+_entry_sequence = attrgetter("sequence")
+
+
+@dataclass(frozen=True, slots=True)
 class JournalEntry:
     """One journaled host write.
 
@@ -76,8 +92,16 @@ class JournalFullError(Exception):
     """
 
 
+#: dead ring slots tolerated before the head offset is compacted away
+_COMPACT_THRESHOLD = 4096
+
+
 class JournalVolume:
     """Bounded FIFO of journal entries with a monotone sequence counter."""
+
+    __slots__ = ("journal_id", "name", "capacity_entries", "_ring",
+                 "_sizes", "_head", "_next_sequence", "head_sequence",
+                 "peak_entries", "bytes_retained", "mutations")
 
     def __init__(self, journal_id: int, capacity_entries: int,
                  name: str = "") -> None:
@@ -87,20 +111,34 @@ class JournalVolume:
         self.journal_id = journal_id
         self.name = name or f"journal-{journal_id}"
         self.capacity_entries = capacity_entries
-        self._entries: Deque[JournalEntry] = deque()
+        #: the ring: retained entries live at ``_ring[_head:]``, sorted
+        #: by sequence; the dead prefix is compacted away once it
+        #: dominates the list.  ``_sizes`` mirrors the ring index-for-
+        #: index with each entry's wire size, so trims can subtract a
+        #: whole window's bytes with one C-level ``sum``.
+        self._ring: List[JournalEntry] = []
+        self._sizes: List[int] = []
+        self._head = 0
         self._next_sequence = 0
         #: highest sequence ever appended (-1 when none)
         self.head_sequence = -1
         #: peak occupancy, for capacity-planning experiments
         self.peak_entries = 0
+        #: wire bytes of all retained entries, maintained incrementally
+        #: so byte-lag probes never walk the journal
+        self.bytes_retained = 0
+        #: in-place payload mutations injected by fault hooks
+        #: (:meth:`corrupt_entry`); a non-zero count tells the restore
+        #: side it can no longer trust the receive-time verification
+        self.mutations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._ring) - self._head
 
     @property
     def free_entries(self) -> int:
         """Remaining capacity in entries."""
-        return self.capacity_entries - len(self._entries)
+        return self.capacity_entries - len(self)
 
     def append(self, volume_id: int, block: int, payload: bytes,
                version: int, time: float,
@@ -111,18 +149,26 @@ class JournalVolume:
         Raises :class:`JournalFullError` when at capacity; the sequence
         counter is *not* consumed in that case.
         """
-        if len(self._entries) >= self.capacity_entries:
+        if len(self._ring) - self._head >= self.capacity_entries:
             raise JournalFullError(
                 f"{self.name} full ({self.capacity_entries} entries)")
+        # materialise the payload exactly once; bytes input is immutable
+        # and passes through without a copy
+        data = payload if type(payload) is bytes else bytes(payload)
         entry = JournalEntry(
             sequence=self._next_sequence, volume_id=volume_id, block=block,
-            payload=bytes(payload), version=version, created_at=time,
-            checksum=payload_checksum(payload),
+            payload=data, version=version, created_at=time,
+            checksum=payload_checksum(data),
             trace_id=trace_id, span_id=span_id)
         self._next_sequence += 1
         self.head_sequence = entry.sequence
-        self._entries.append(entry)
-        self.peak_entries = max(self.peak_entries, len(self._entries))
+        self._ring.append(entry)
+        size = len(data) + 64
+        self._sizes.append(size)
+        self.bytes_retained += size
+        occupancy = len(self._ring) - self._head
+        if occupancy > self.peak_entries:
+            self.peak_entries = occupancy
         return entry
 
     def ingest(self, entry: JournalEntry) -> None:
@@ -131,38 +177,85 @@ class JournalVolume:
         Entries must arrive in sequence order (the transfer process ships
         them FIFO over one link); gaps indicate a programming error.
         """
-        if self._entries and entry.sequence <= self._entries[-1].sequence:
+        ring = self._ring
+        if len(ring) > self._head and entry.sequence <= ring[-1].sequence:
             raise ValueError(
                 f"{self.name}: out-of-order ingest "
-                f"seq={entry.sequence} after {self._entries[-1].sequence}")
-        if len(self._entries) >= self.capacity_entries:
+                f"seq={entry.sequence} after {ring[-1].sequence}")
+        if len(ring) - self._head >= self.capacity_entries:
             raise JournalFullError(f"{self.name} full on ingest")
-        self._entries.append(entry)
+        ring.append(entry)
         self.head_sequence = entry.sequence
-        self.peak_entries = max(self.peak_entries, len(self._entries))
+        size = entry.size_bytes
+        self._sizes.append(size)
+        self.bytes_retained += size
+        occupancy = len(ring) - self._head
+        if occupancy > self.peak_entries:
+            self.peak_entries = occupancy
 
     def peek_batch(self, limit: int) -> List[JournalEntry]:
         """The oldest ``limit`` entries without removing them."""
         if limit < 1:
             raise ValueError(f"limit must be >= 1: {limit}")
-        return [self._entries[i]
-                for i in range(min(limit, len(self._entries)))]
+        return self._ring[self._head:self._head + limit]
 
     def pop_through(self, sequence: int) -> List[JournalEntry]:
         """Remove and return all entries with ``sequence <=`` the given
-        sequence (journal trim after successful transfer/restore)."""
-        removed: List[JournalEntry] = []
-        while self._entries and self._entries[0].sequence <= sequence:
-            removed.append(self._entries.popleft())
+        sequence (journal trim after successful transfer/restore).
+
+        O(log n) to locate the cut plus O(removed) to hand the removed
+        entries back; the dead prefix is only compacted once it is both
+        large and at least half the list (it then at least doubles
+        before the next compaction), so the amortised shift cost per
+        retained entry is constant.
+        """
+        ring = self._ring
+        head = self._head
+        if len(ring) <= head or ring[head].sequence > sequence:
+            return []
+        size = len(ring)
+        if ring[-1].sequence <= sequence:  # full drain: the common case
+            cut = size
+        else:
+            # sequences are contiguous unless entries were skipped
+            # (quarantine, coalescing), so index distance == sequence
+            # distance is an exact guess almost always; verify with two
+            # probes and fall back to binary search on gaps
+            cut = head + (sequence - ring[head].sequence) + 1
+            if cut >= size or ring[cut].sequence <= sequence \
+                    or ring[cut - 1].sequence > sequence:
+                cut = bisect_right(ring, sequence, lo=head, hi=min(cut, size),
+                                   key=_entry_sequence)
+        removed = ring[head:cut]
+        if cut == len(ring):
+            # everything retained was consumed: drop storage outright
+            ring.clear()
+            self._sizes.clear()
+            self._head = 0
+            self.bytes_retained = 0
+        else:
+            self.bytes_retained -= sum(self._sizes[head:cut])
+            self._head = cut
+            if cut >= _COMPACT_THRESHOLD and cut * 2 >= len(ring):
+                del ring[:cut]
+                del self._sizes[:cut]
+                self._head = 0
         return removed
 
     def oldest_sequence(self) -> Optional[int]:
         """Sequence of the oldest retained entry, or None when empty."""
-        return self._entries[0].sequence if self._entries else None
+        ring = self._ring
+        return ring[self._head].sequence if len(ring) > self._head else None
+
+    def oldest_entry(self) -> Optional[JournalEntry]:
+        """The oldest retained entry itself, or None when empty (O(1);
+        lag probes use this instead of copying the whole journal)."""
+        ring = self._ring
+        return ring[self._head] if len(ring) > self._head else None
 
     def snapshot_entries(self) -> List[JournalEntry]:
         """Copy of all retained entries (failover drain / tests)."""
-        return list(self._entries)
+        return self._ring[self._head:]
 
     def corrupt_entry(self, index: int,
                       mutate: Optional[Callable[[bytes], bytes]] = None,
@@ -174,10 +267,13 @@ class JournalVolume:
         ``mutate`` transforms the payload (default flips the first byte
         and truncates — a torn write).  Returns the corrupted entry, or
         None when the journal holds fewer than ``index + 1`` entries.
+        Bumps :attr:`mutations`, which re-arms restore-apply checksum
+        verification for the journal's consumers.
         """
-        if index < 0 or index >= len(self._entries):
+        if index < 0 or index >= len(self):
             return None
-        entry = self._entries[index]
+        slot = self._head + index
+        entry = self._ring[slot]
         if mutate is None:
             payload = entry.payload
             flipped = bytes([payload[0] ^ 0xFF]) + payload[1:] \
@@ -186,14 +282,20 @@ class JournalVolume:
         else:
             mutated = bytes(mutate(entry.payload))
         corrupted = replace(entry, payload=mutated)
-        self._entries[index] = corrupted
+        self._ring[slot] = corrupted
+        self._sizes[slot] = corrupted.size_bytes
+        self.bytes_retained += corrupted.size_bytes - entry.size_bytes
+        self.mutations += 1
         return corrupted
 
     def clear(self) -> None:
         """Drop every retained entry (pair deletion)."""
-        self._entries.clear()
+        self._ring.clear()
+        self._sizes.clear()
+        self._head = 0
+        self.bytes_retained = 0
 
     def __repr__(self) -> str:
         return (f"<JournalVolume {self.name!r} "
-                f"{len(self._entries)}/{self.capacity_entries} "
+                f"{len(self)}/{self.capacity_entries} "
                 f"head={self.head_sequence}>")

@@ -195,8 +195,57 @@ class Volume:
                     f"{self.name}: out-of-order apply to block {block}: "
                     f"have v{current.version}, got v{version}")
             self._version_counter = max(self._version_counter, version)
-        self._blocks[block] = BlockValue(bytes(payload), version,
-                                         checksum=payload_checksum(payload))
+        # materialise once and checksum the stored bytes (bytes input is
+        # already immutable and passes through without a copy)
+        data = payload if type(payload) is bytes else bytes(payload)
+        self._blocks[block] = BlockValue(data, version,
+                                         checksum=payload_checksum(data))
+        self.writes += 1
+        return version
+
+    # -- batched replication apply (used by the ADC restore loop) -----------
+
+    def apply_delay(self, block: int) -> float:
+        """Simulated media cost of one replication apply to ``block``:
+        pending copy-on-write preservations plus the write itself.
+
+        The batched restore applier aggregates this across a window of
+        non-conflicting blocks (``max``, since the media writes overlap),
+        waits once, then installs with :meth:`install_block`.
+        """
+        cost = self.media.write_latency
+        cow = self.media.cow_copy_latency
+        if cow > 0 and self._snapshots:
+            pending = sum(1 for snap in self._snapshots
+                          if not snap.deleted
+                          and not snap.has_preimage(block))
+            cost += pending * cow
+        return cost
+
+    def install_block(self, block: int, payload: bytes, version: int,
+                      checksum: Optional[int] = None) -> int:
+        """Latency-free replication apply (the caller already waited out
+        :meth:`apply_delay`).  Same validation and copy-on-write
+        semantics as :meth:`write_block` with an explicit version;
+        ``checksum`` reuses an already-computed payload CRC32 (e.g. from
+        the journal entry) instead of re-hashing.
+        """
+        self._check_block(block)
+        self._check_online()
+        for snap in self._snapshots:
+            if not snap.deleted and not snap.has_preimage(block):
+                snap.save_preimage(block, self._blocks.get(block))
+        current = self._blocks.get(block)
+        if current is not None and current.version >= version:
+            raise VolumeError(
+                f"{self.name}: out-of-order apply to block {block}: "
+                f"have v{current.version}, got v{version}")
+        if version > self._version_counter:
+            self._version_counter = version
+        data = payload if type(payload) is bytes else bytes(payload)
+        if checksum is None:
+            checksum = payload_checksum(data)
+        self._blocks[block] = BlockValue(data, version, checksum=checksum)
         self.writes += 1
         return version
 

@@ -94,20 +94,15 @@ class ArrayProbe:
             help="Journaled-but-unrestored entries (main+backup journals)",
             unit="entries", **labels,
         ).sample(now, group.entry_lag)
-        byte_lag = sum(
-            entry.size_bytes
-            for journal in (group.main_journal, group.backup_journal)
-            for entry in journal.snapshot_entries())
+        byte_lag = (group.main_journal.bytes_retained
+                    + group.backup_journal.bytes_retained)
         self.registry.gauge(
             "repro_journal_byte_lag_bytes",
             help="Journaled-but-unrestored bytes (main+backup journals)",
             unit="bytes", **labels,
         ).sample(now, byte_lag)
-        oldest = group.main_journal.oldest_sequence()
-        if oldest is not None:
-            age = now - group.main_journal.snapshot_entries()[0].created_at
-        else:
-            age = 0.0
+        oldest = group.main_journal.oldest_entry()
+        age = now - oldest.created_at if oldest is not None else 0.0
         self.registry.gauge(
             "repro_journal_oldest_entry_age_seconds",
             help="Age of the oldest unshipped main-journal entry",

@@ -84,6 +84,26 @@ class Span:
                 f"trace={self.trace_id} {self.start:g}→{end}>")
 
 
+class _NullSpan(Span):
+    """The shared no-op span handed out while tracing is disabled.
+
+    Carries ``None`` ids so trace context propagated from it (e.g. into
+    a journal entry) stays empty, and swallows attribute updates so the
+    singleton never accumulates state.
+    """
+
+    def set(self, **attrs: object) -> "Span":
+        return self
+
+
+#: singleton returned by :meth:`Tracer.start` when ``enabled`` is False;
+#: :meth:`Tracer.finish` treats it as a no-op, so call sites need no
+#: ``if tracing`` guards (though hot loops may add them to skip building
+#: the attribute kwargs at all)
+NULL_SPAN = _NullSpan(name="tracing-disabled", trace_id=None,  # type: ignore[arg-type]
+                      span_id=None, parent_id=None, start=0.0)  # type: ignore[arg-type]
+
+
 class Tracer:
     """Creates, stores, and queries spans for one simulation.
 
@@ -100,6 +120,10 @@ class Tracer:
         self._clock = clock
         self.max_spans = max_spans
         self.on_finish = on_finish
+        #: master switch: when False, :meth:`start` returns the shared
+        #: :data:`NULL_SPAN` and :meth:`finish` no-ops — zero span
+        #: objects are allocated on the hot path
+        self.enabled = True
         self.spans: List[Span] = []
         self._by_id: Dict[str, Span] = {}
         self.dropped = 0
@@ -120,6 +144,8 @@ class Tracer:
         the site-to-site hop).  With neither, the span roots a new
         trace.
         """
+        if not self.enabled:
+            return NULL_SPAN
         if parent is not None:
             trace_id = parent.trace_id
             parent_id = parent.span_id
@@ -140,6 +166,8 @@ class Tracer:
     def finish(self, span: Span, status: str = "ok",
                **attrs: object) -> Span:
         """Close a span at the current clock; returns it."""
+        if span is NULL_SPAN:
+            return span
         if span.end is not None:
             raise ValueError(f"span {span.name!r} [{span.span_id}] "
                              f"finished twice")

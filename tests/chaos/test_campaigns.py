@@ -51,6 +51,37 @@ class TestQuickCampaign:
         assert "digest:" in text
 
 
+class TestCoalescingCampaign:
+    """The quick storm with transfer-side coalescing enabled.
+
+    Coalescing interacts with exactly the machinery chaos stresses —
+    partial batches, quarantined entries, resync — so the full quick
+    campaign (corruption, partition, failover verification) must hold
+    with ``coalesce_overwrites=True`` just as it does without.
+    """
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_campaign(
+            seed=7, preset="quick",
+            adc_overrides=dict(coalesce_overwrites=True))
+
+    def test_passes_end_to_end(self, report):
+        assert report.passed
+        assert report.violations == []
+        assert report.converged
+        assert report.final_entry_lag == 0
+
+    def test_failover_still_consistent(self, report):
+        assert report.failover_checked
+        assert report.failover_consistent
+        assert report.lost_committed_orders == 0
+
+    def test_corruption_still_detected(self, report):
+        assert report.counters["corrupted_payloads_injected"] >= 1
+        assert detections(report) >= 1
+
+
 class TestDeterminism:
     def test_same_seed_same_digest(self):
         first = run_campaign(seed=21, preset="quick",
