@@ -13,11 +13,11 @@ no-backup floor; SDC latency grows with RTT and its throughput collapses
 from repro.bench import run_e1_slowdown
 
 
-def test_e1_slowdown(experiment):
+def test_e1_slowdown(experiment, jobs):
     table, facts = experiment(
         run_e1_slowdown,
         rtt_ms_values=(1.0, 5.0, 10.0, 25.0),
-        duration=1.0, clients=4)
+        duration=1.0, clients=4, jobs=jobs)
     # ADC stays within a modest envelope of the no-backup floor ...
     assert facts["adc_overhead_vs_none"] < 1.25, (
         "ADC is supposed to eliminate slowdown; overhead vs no-backup "

@@ -16,10 +16,10 @@ entries and bytes that never cross the inter-site link.
 from repro.bench import run_e7_journal
 
 
-def test_e7_journal(experiment):
+def test_e7_journal(experiment, jobs):
     table, facts = experiment(
         run_e7_journal, intervals_ms=(1.0, 5.0, 20.0, 50.0),
-        seeds=(700, 701, 702), load_time=0.3)
+        seeds=(700, 701, 702), load_time=0.3, jobs=jobs)
     # the foreground never waits on the transfer: throughput is flat
     assert facts["throughput_spread"] < 1.1
     # data loss at disaster grows with the transfer interval

@@ -19,6 +19,20 @@ import pathlib
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=1,
+        help="shard experiment cells across N worker processes for "
+             "runners that support it (E1, E7); 0 = one per CPU. "
+             "Deterministic merge: tables/facts match --jobs 1.")
+
+
+@pytest.fixture()
+def jobs(request):
+    """The ``--jobs`` worker count for cell-sharding experiment runners."""
+    return request.config.getoption("--jobs")
+
 #: values that json.dumps cannot express losslessly are stringified
 _JSONABLE = (str, int, float, bool, type(None))
 

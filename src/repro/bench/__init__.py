@@ -10,8 +10,9 @@ from repro.bench.experiments import (run_d0_demo, run_e1_slowdown,
                                      run_e4_snapshot, run_e5_analytics,
                                      run_e6_downtime, run_e7_journal,
                                      run_e8_cg_scale)
-from repro.bench.perf import (compare_perf, load_perf_baseline, run_perf,
-                              write_perf_json)
+from repro.bench.parallel import ParallelRunner, default_jobs, resolve_jobs
+from repro.bench.perf import (compare_perf, load_perf_baseline,
+                              perf_delta_lines, run_perf, write_perf_json)
 from repro.bench.setups import (ALL_MODES, MODE_ADC_CG, MODE_ADC_NOCG,
                                 MODE_NONE, MODE_SDC, ExperimentSystem,
                                 build_business_system,
@@ -26,12 +27,16 @@ __all__ = [
     "MODE_ADC_NOCG",
     "MODE_NONE",
     "MODE_SDC",
+    "ParallelRunner",
     "Table",
     "build_business_system",
     "compare_perf",
     "configure_sdc_protection",
+    "default_jobs",
     "experiment_config",
     "load_perf_baseline",
+    "perf_delta_lines",
+    "resolve_jobs",
     "run_d0_demo",
     "run_e1_slowdown",
     "run_e2_collapse",

@@ -38,44 +38,74 @@ Facts = Dict[str, object]
 # ---------------------------------------------------------------------------
 
 
+def _e1_cell(cell: Tuple[str, float, int, float, int],
+             ) -> Dict[str, float]:
+    """One E1 (mode, rtt) cell on a fresh simulator.
+
+    Top-level and tuple-argumented so :class:`ParallelRunner` can ship
+    it to a worker process; everything random derives from ``seed``.
+    """
+    mode, rtt_ms, seed, duration, clients = cell
+    experiment = build_business_system(
+        seed=seed, mode=mode, link_latency=rtt_ms / 2 / 1e3)
+    result = run_order_workload(
+        experiment.sim, experiment.business.app,
+        WorkloadConfig(client_count=clients, duration=duration))
+    # order latency read back from the telemetry registry (the
+    # workload published it there); identical numbers to the
+    # local recorder because the summary kind keeps raw samples
+    registry = experiment.sim.telemetry.registry
+    summary = registry.get(
+        "repro_order_latency_seconds",
+        workload="workload").summary().as_millis()
+    writes = registry.get(
+        "repro_host_write_seconds",
+        array=experiment.system.main.array.serial).summary()
+    return {
+        "accepted": result.accepted,
+        "throughput": result.throughput,
+        "p50": summary.p50, "p99": summary.p99,
+        "host_write_p50_ms": writes.p50 * 1e3,
+        "host_write_p95_ms": writes.p95 * 1e3,
+        "host_write_p99_ms": writes.p99 * 1e3,
+        "host_writes": writes.count,
+    }
+
+
 def run_e1_slowdown(rtt_ms_values: Sequence[float] = (1.0, 5.0, 10.0, 25.0),
                     duration: float = 1.0, clients: int = 4,
-                    seed: int = 100) -> Tuple[Table, Facts]:
-    """Order latency/throughput: no-backup vs SDC vs ADC across RTT."""
+                    seed: int = 100, jobs: int = 1) -> Tuple[Table, Facts]:
+    """Order latency/throughput: no-backup vs SDC vs ADC across RTT.
+
+    ``jobs`` shards the mode × RTT grid across worker processes; the
+    merge is by cell key, so the table and facts are identical for any
+    job count.
+    """
+    from repro.bench.parallel import ParallelRunner
+
     table = Table(
         title="E1: transaction latency vs inter-site RTT",
         columns=("mode", "rtt_ms", "orders", "throughput_per_s",
                  "p50_ms", "p99_ms"))
+    cells = [(mode, rtt_ms, seed, duration, clients)
+             for mode in (MODE_NONE, MODE_SDC, MODE_ADC_CG)
+             for rtt_ms in rtt_ms_values]
+    results = ParallelRunner(jobs).map(_e1_cell, cells)
     measured: Dict[Tuple[str, float], Dict[str, float]] = {}
     registry_facts: Dict[str, Dict[str, float]] = {}
-    for mode in (MODE_NONE, MODE_SDC, MODE_ADC_CG):
-        for rtt_ms in rtt_ms_values:
-            experiment = build_business_system(
-                seed=seed, mode=mode, link_latency=rtt_ms / 2 / 1e3)
-            result = run_order_workload(
-                experiment.sim, experiment.business.app,
-                WorkloadConfig(client_count=clients, duration=duration))
-            # order latency read back from the telemetry registry (the
-            # workload published it there); identical numbers to the
-            # local recorder because the summary kind keeps raw samples
-            registry = experiment.sim.telemetry.registry
-            summary = registry.get(
-                "repro_order_latency_seconds",
-                workload="workload").summary().as_millis()
-            table.add_row(mode, rtt_ms, result.accepted,
-                          result.throughput, summary.p50, summary.p99)
-            measured[(mode, rtt_ms)] = {
-                "p50": summary.p50, "p99": summary.p99,
-                "throughput": result.throughput}
-            writes = registry.get(
-                "repro_host_write_seconds",
-                array=experiment.system.main.array.serial).summary()
-            registry_facts[f"{mode}@{rtt_ms}ms"] = {
-                "host_write_p50_ms": writes.p50 * 1e3,
-                "host_write_p95_ms": writes.p95 * 1e3,
-                "host_write_p99_ms": writes.p99 * 1e3,
-                "host_writes": writes.count,
-            }
+    for (mode, rtt_ms, _seed, _dur, _cl), outcome in zip(cells, results):
+        table.add_row(mode, rtt_ms, outcome["accepted"],
+                      outcome["throughput"], outcome["p50"],
+                      outcome["p99"])
+        measured[(mode, rtt_ms)] = {
+            "p50": outcome["p50"], "p99": outcome["p99"],
+            "throughput": outcome["throughput"]}
+        registry_facts[f"{mode}@{rtt_ms}ms"] = {
+            "host_write_p50_ms": outcome["host_write_p50_ms"],
+            "host_write_p95_ms": outcome["host_write_p95_ms"],
+            "host_write_p99_ms": outcome["host_write_p99_ms"],
+            "host_writes": outcome["host_writes"],
+        }
     max_rtt = max(rtt_ms_values)
     adc_overhead = max(
         measured[(MODE_ADC_CG, rtt)]["p50"]
@@ -586,11 +616,61 @@ def _coalesce_hotspot(interval_ms: float, seed: int, writes: int,
     }
 
 
+def _e7_cell(cell: Tuple[float, int, float]) -> Dict[str, float]:
+    """One E7 (interval, seed) cell: load, disaster, registry readouts.
+
+    Top-level and tuple-argumented for :class:`ParallelRunner`.
+    """
+    interval_ms, seed, load_time = cell
+    experiment = build_business_system(
+        seed=seed, mode=MODE_ADC_CG,
+        adc_overrides=dict(transfer_interval=interval_ms / 1e3,
+                           interval_jitter=0.3))
+    sim = experiment.sim
+    load = BackgroundLoad(sim, experiment.business.app, client_count=6)
+    sim.run(until=sim.now + load_time)
+    committed = load.committed_gtids
+    groups = business_journal_groups(experiment)
+    promoted = fail_and_recover(
+        experiment.system, experiment.business,
+        expected_committed=committed)
+    # journal-side observables come from the telemetry registry
+    # (the gauges/counters the transfer loop maintains), not from
+    # reaching into the journal internals
+    return {
+        "throughput": len(committed) / load_time,
+        "lost": promoted.report.lost_committed_orders,
+        "peak": max(
+            int(g.peak_entries_gauge.value)
+            if g.peak_entries_gauge.points else 0 for g in groups),
+        "entry_lags": [g.lag_entries.maximum() for g in groups
+                       if g.lag_entries.points],
+        "batches": sum(g.transfer_batches.value for g in groups),
+        "wire_bytes": sum(g.transfer_bytes.value for g in groups),
+    }
+
+
+def _e7_hotspot_cell(cell: Tuple[float, int, int, int, bool],
+                     ) -> Dict[str, float]:
+    """Tuple-argumented wrapper of :func:`_coalesce_hotspot`."""
+    interval_ms, seed, writes, hot_blocks, coalesce = cell
+    return _coalesce_hotspot(interval_ms, seed=seed, writes=writes,
+                             hot_blocks=hot_blocks, coalesce=coalesce)
+
+
 def run_e7_journal(intervals_ms: Sequence[float] = (1.0, 5.0, 20.0, 50.0),
                    seeds: Sequence[int] = (700, 701, 702),
-                   load_time: float = 0.3) -> Tuple[Table, Facts]:
+                   load_time: float = 0.3, jobs: int = 1,
+                   ) -> Tuple[Table, Facts]:
     """RPO vs foreground throughput as the transfer interval grows,
-    plus a hotspot ablation of transfer-side write coalescing."""
+    plus a hotspot ablation of transfer-side write coalescing.
+
+    ``jobs`` shards the interval × seed grid (and the two ablation
+    runs) across worker processes; the merge is by cell key, so the
+    table and facts are identical for any job count.
+    """
+    from repro.bench.parallel import ParallelRunner
+
     table = Table(
         title="E7: journal transfer interval trade-off (ADC+CG)",
         columns=("interval_ms", "orders_per_s", "mean_lost_orders",
@@ -599,40 +679,21 @@ def run_e7_journal(intervals_ms: Sequence[float] = (1.0, 5.0, 20.0, 50.0),
     mean_losses: List[float] = []
     transferred_bytes: List[float] = []
     registry_facts: Dict[str, Dict[str, float]] = {}
+    runner = ParallelRunner(jobs)
+    cells = [(interval_ms, seed, load_time)
+             for interval_ms in intervals_ms for seed in seeds]
+    outcomes = runner.map(_e7_cell, cells)
+    per_interval = {
+        interval_ms: outcomes[i * len(seeds):(i + 1) * len(seeds)]
+        for i, interval_ms in enumerate(intervals_ms)}
     for interval_ms in intervals_ms:
-        lost: List[int] = []
-        tputs: List[float] = []
-        peaks: List[int] = []
-        entry_lags: List[float] = []
-        batches = 0
-        wire_bytes: List[float] = []
-        for seed in seeds:
-            experiment = build_business_system(
-                seed=seed, mode=MODE_ADC_CG,
-                adc_overrides=dict(transfer_interval=interval_ms / 1e3,
-                                   interval_jitter=0.3))
-            sim = experiment.sim
-            load = BackgroundLoad(sim, experiment.business.app,
-                                  client_count=6)
-            sim.run(until=sim.now + load_time)
-            committed = load.committed_gtids
-            tputs.append(len(committed) / load_time)
-            groups = business_journal_groups(experiment)
-            promoted = fail_and_recover(
-                experiment.system, experiment.business,
-                expected_committed=committed)
-            lost.append(promoted.report.lost_committed_orders)
-            # journal-side observables come from the telemetry registry
-            # (the gauges/counters the transfer loop maintains), not from
-            # reaching into the journal internals
-            peaks.append(max(
-                int(g.peak_entries_gauge.value)
-                if g.peak_entries_gauge.points else 0 for g in groups))
-            entry_lags.extend(
-                g.lag_entries.maximum() for g in groups
-                if g.lag_entries.points)
-            batches += sum(g.transfer_batches.value for g in groups)
-            wire_bytes.append(sum(g.transfer_bytes.value for g in groups))
+        rows = per_interval[interval_ms]
+        tputs = [r["throughput"] for r in rows]
+        lost = [r["lost"] for r in rows]
+        peaks = [r["peak"] for r in rows]
+        entry_lags = [lag for r in rows for lag in r["entry_lags"]]
+        batches = sum(r["batches"] for r in rows)
+        wire_bytes = [r["wire_bytes"] for r in rows]
         throughput = sum(tputs) / len(tputs)
         mean_lost = sum(lost) / len(lost)
         mean_wire = sum(wire_bytes) / len(wire_bytes)
@@ -651,10 +712,9 @@ def run_e7_journal(intervals_ms: Sequence[float] = (1.0, 5.0, 20.0, 50.0),
     #    without coalesce_overwrites at the largest (batch-building)
     #    interval; the win is wire entries/bytes that never ship
     ablation_interval = max(intervals_ms)
-    plain = _coalesce_hotspot(ablation_interval, seed=min(seeds),
-                              writes=2_000, hot_blocks=16, coalesce=False)
-    coalesced = _coalesce_hotspot(ablation_interval, seed=min(seeds),
-                                  writes=2_000, hot_blocks=16, coalesce=True)
+    plain, coalesced = runner.map(_e7_hotspot_cell, [
+        (ablation_interval, min(seeds), 2_000, 16, False),
+        (ablation_interval, min(seeds), 2_000, 16, True)])
     for label, run_counters in (("hotspot", plain),
                                 ("hotspot+coalesce", coalesced)):
         table.add_row(f"{ablation_interval:g} ({label})", 0.0, 0.0,

@@ -202,40 +202,64 @@ def bench_e1_cell(duration: float) -> float:
 # ---------------------------------------------------------------------------
 
 
-def run_perf(quick: bool = False) -> Tuple[Table, Facts]:
+#: suite order: (name, size key, unit, higher_is_better).  One row per
+#: microbenchmark; ``_run_one_bench`` resolves the callable, so the
+#: spec stays picklable for the ``--jobs`` fan-out.
+_SUITE = (
+    ("journal_append", "journal_entries", "entries/s", True),
+    ("journal_drain", "journal_entries", "entries/s", True),
+    ("kernel_events", "kernel_events", "events/s", True),
+    ("restore_drain", "restore_entries", "entries/s", True),
+    ("e1_cell", "e1_duration", "seconds", False),
+)
+
+_BENCH_FNS = {
+    "journal_append": bench_journal_append,
+    "journal_drain": bench_journal_drain,
+    "kernel_events": bench_kernel_events,
+    "restore_drain": bench_restore_drain,
+    "e1_cell": bench_e1_cell,
+}
+
+
+def _run_one_bench(cell: Tuple[str, str, int]) -> Dict[str, object]:
+    """One named microbenchmark, best-of-N (a ParallelRunner cell).
+
+    Best-of-N: each repeat rebuilds its world from scratch, and the
+    best run is the one least disturbed by allocator/page noise — the
+    standard estimator for short timed regions.
+    """
+    name, mode, repeats = cell
+    size_key, unit, higher_is_better = next(
+        (spec[1], spec[2], spec[3]) for spec in _SUITE if spec[0] == name)
+    measure = _BENCH_FNS[name]
+    size = _SIZES[mode][size_key]
+    values = [measure(size) for _ in range(repeats)]
+    best = max(values) if higher_is_better else min(values)
+    return {"value": best, "unit": unit,
+            "higher_is_better": higher_is_better}
+
+
+def run_perf(quick: bool = False, jobs: int = 1) -> Tuple[Table, Facts]:
     """Run every microbenchmark; returns ``(table, facts)``.
 
     ``facts["metrics"]`` maps benchmark name to ``{"value", "unit",
     "higher_is_better"}`` — the schema :func:`compare_perf` checks.
+
+    ``jobs`` shards the five benchmarks across worker processes
+    (deterministic merge in suite order).  The table *structure* is
+    identical for any job count, but concurrent benchmarks contend for
+    the same cores, so the wall-clock *values* read lower than a
+    serial run — use ``jobs>1`` for quick comparative sweeps, never to
+    record a baseline.
     """
+    from repro.bench.parallel import ParallelRunner
+
     mode = "quick" if quick else "full"
-    sizes = _SIZES[mode]
-    metrics: Dict[str, Dict[str, object]] = {}
-
-    def record(name: str, measure, unit: str,
-               higher_is_better: bool = True, repeats: int = 3) -> None:
-        # best-of-N: each repeat rebuilds its world from scratch, and
-        # the best run is the one least disturbed by allocator/page
-        # noise — the standard estimator for short timed regions
-        values = [measure() for _ in range(repeats)]
-        best = max(values) if higher_is_better else min(values)
-        metrics[name] = {"value": best, "unit": unit,
-                         "higher_is_better": higher_is_better}
-
-    record("journal_append",
-           lambda: bench_journal_append(sizes["journal_entries"]),
-           "entries/s")
-    record("journal_drain",
-           lambda: bench_journal_drain(sizes["journal_entries"]),
-           "entries/s")
-    record("kernel_events",
-           lambda: bench_kernel_events(sizes["kernel_events"]),
-           "events/s")
-    record("restore_drain",
-           lambda: bench_restore_drain(sizes["restore_entries"]),
-           "entries/s")
-    record("e1_cell", lambda: bench_e1_cell(sizes["e1_duration"]),
-           "seconds", higher_is_better=False)
+    cells = [(spec[0], mode, 3) for spec in _SUITE]
+    results = ParallelRunner(jobs).map(_run_one_bench, cells)
+    metrics: Dict[str, Dict[str, object]] = {
+        cell[0]: result for cell, result in zip(cells, results)}
 
     table = Table(
         title=f"P0: hot-path microbenchmarks ({mode} mode)",
@@ -298,6 +322,38 @@ def compare_perf(facts: Facts, baseline: Facts,
                     f"baseline {base:.3f}s "
                     f"(allowed {max_regression:.0%})")
     return problems
+
+
+def perf_delta_lines(facts: Facts, baseline: Facts) -> List[str]:
+    """Per-benchmark delta vs baseline, one formatted line each.
+
+    Printed by ``repro perf --check`` so a regression (or a win) names
+    the offending benchmark even when the gate passes.  Metrics present
+    on only one side are reported as such rather than skipped silently.
+    """
+    current = facts.get("metrics", {})
+    reference = baseline.get("metrics", {})
+    lines: List[str] = []
+    for name in sorted(set(current) | set(reference)):
+        if name not in reference:
+            lines.append(f"{name:16} (new — no baseline entry)")
+            continue
+        if name not in current:
+            lines.append(f"{name:16} (baseline only — not measured)")
+            continue
+        value = float(current[name]["value"])
+        base = float(reference[name]["value"])
+        unit = current[name].get("unit", "")
+        if base <= 0 or value <= 0:
+            lines.append(f"{name:16} (not comparable)")
+            continue
+        higher = current[name].get("higher_is_better", True)
+        # delta > 0 always means "better", whichever the direction
+        delta = value / base - 1.0 if higher else base / value - 1.0
+        lines.append(
+            f"{name:16} {value:>14,.1f} vs {base:>14,.1f} {unit:10} "
+            f"{delta:+7.1%}")
+    return lines
 
 
 def write_perf_json(path: pathlib.Path, table: Table,

@@ -4,6 +4,9 @@ Public surface:
 
 * :func:`run_campaign` — build a protected system, run a seeded fault
   campaign, return its :class:`ChaosReport` (the ``repro chaos`` CLI);
+* :func:`run_campaigns` — one campaign per seed, optionally sharded
+  across worker processes (``repro chaos --seeds N --jobs M``) with a
+  deterministic seed-ordered merge;
 * :func:`build_chaos_environment`, :class:`ChaosEngine`,
   :class:`ChaosEnvironment`, :class:`ChaosWorkload` — the pieces, for
   custom harnesses and tests;
@@ -18,7 +21,7 @@ Public surface:
 
 from repro.chaos.engine import (ChaosEngine, ChaosEnvironment, ChaosReport,
                                 ChaosWorkload, build_chaos_environment,
-                                run_campaign)
+                                run_campaign, run_campaigns)
 from repro.chaos.faults import (ArrayCrash, Fault, FaultEvent,
                                 JournalCorruption, JournalSqueeze,
                                 LinkBrownout, LinkPartition, SlowDisk,
@@ -53,4 +56,5 @@ __all__ = [
     "build_chaos_environment",
     "build_plan",
     "run_campaign",
+    "run_campaigns",
 ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Set
+from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 from repro.chaos.faults import Fault, FaultEvent
 from repro.chaos.invariants import (ChaosViolation, InvariantMonitor,
@@ -482,3 +482,30 @@ def run_campaign(seed: int, preset: str = "quick",
     plan = build_plan(env.sim, campaign)
     engine = ChaosEngine(env, plan, monitor_config=monitor_config)
     return engine.run(verify_failover=verify_failover)
+
+
+def _campaign_cell(cell: Tuple[int, str, bool]) -> ChaosReport:
+    """One seeded campaign (a :class:`ParallelRunner` cell)."""
+    seed, preset, verify_failover = cell
+    return run_campaign(seed=seed, preset=preset,
+                        verify_failover=verify_failover)
+
+
+def run_campaigns(seeds: Sequence[int], preset: str = "quick",
+                  verify_failover: bool = True,
+                  jobs: int = 1) -> List[ChaosReport]:
+    """One campaign per seed, optionally sharded across processes.
+
+    Reports come back in ``seeds`` order regardless of ``jobs`` and
+    each campaign is fully seed-deterministic (every campaign builds
+    its own simulator; :class:`ChaosReport` is plain picklable data),
+    so a parallel soak renders byte-identically to a serial one.
+    """
+    from repro.bench.parallel import ParallelRunner
+
+    if preset not in PRESETS:
+        raise ValueError(
+            f"unknown campaign preset {preset!r}; "
+            f"choose from {sorted(PRESETS)}")
+    cells = [(seed, preset, verify_failover) for seed in seeds]
+    return ParallelRunner(jobs).map(_campaign_cell, cells)

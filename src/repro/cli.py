@@ -12,12 +12,14 @@ Commands:
   (Prometheus text or JSON);
 * ``trace``    — run a scenario and print the span-stage breakdown and
   the span-derived replication-lag (RPO) report;
-* ``chaos``    — run a seeded fault-injection campaign against a
+* ``chaos``    — run seeded fault-injection campaigns against a
   protected business process and verify the robustness invariants
-  (exit 1 on any violation);
-* ``perf``     — run the hot-path microbenchmark suite, write
-  ``BENCH_PERF.json``, and optionally gate against a committed
-  baseline (exit 1 on regression);
+  (exit 1 on any violation); ``--seeds N --jobs M`` shards consecutive
+  seeds across worker processes with a deterministic seed-order merge;
+* ``perf``     — run the hot-path microbenchmark suite (``--jobs``
+  shards the benchmarks), write ``BENCH_PERF.json``, and optionally
+  gate against a committed baseline (exit 1 on regression, with a
+  per-benchmark delta table naming the offender);
 * ``report``   — regenerate every EXPERIMENTS.md table.
 """
 
@@ -110,11 +112,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.chaos import run_campaign
-    report = run_campaign(seed=args.seed, preset=args.campaign,
-                          verify_failover=not args.no_failover)
-    print(report.render())
-    return 0 if report.passed else 1
+    from repro.chaos import run_campaigns
+    preset = "soak" if args.soak else args.campaign
+    if args.seeds < 1:
+        raise SystemExit(f"repro: --seeds must be >= 1 (got {args.seeds})")
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    reports = run_campaigns(seeds, preset=preset,
+                            verify_failover=not args.no_failover,
+                            jobs=args.jobs)
+    for index, report in enumerate(reports):
+        if index:
+            print()
+        print(report.render())
+    if len(reports) > 1:
+        failed = [r.seed for r in reports if not r.passed]
+        print()
+        print(f"campaigns: {len(reports) - len(failed)}/{len(reports)} "
+              f"passed" + (f" (failed seeds: {failed})" if failed else ""))
+    return 0 if all(r.passed for r in reports) else 1
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -122,8 +137,9 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     import pathlib
 
     from repro.bench.perf import (compare_perf, load_perf_baseline,
-                                  run_perf, write_perf_json)
-    table, facts = run_perf(quick=args.quick)
+                                  perf_delta_lines, run_perf,
+                                  write_perf_json)
+    table, facts = run_perf(quick=args.quick, jobs=args.jobs)
     print(table.render())
     if args.output is not None:
         output = pathlib.Path(args.output)
@@ -145,6 +161,10 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                                 max_regression=args.max_regression)
     except ValueError as exc:
         raise SystemExit(f"repro: {exc}")
+    print()
+    print(f"per-benchmark delta vs {args.check} (+ is better):")
+    for line in perf_delta_lines(facts, baseline):
+        print(f"  {line}")
     if problems:
         print()
         print(f"perf regression vs {args.check}:")
@@ -222,6 +242,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=7,
                        help="master seed; the same seed replays the "
                             "exact same campaign")
+    chaos.add_argument("--soak", action="store_true",
+                       help="shorthand for --campaign soak")
+    chaos.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="run N campaigns at consecutive seeds "
+                            "starting from --seed (default 1)")
+    chaos.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="shard the seeds across N worker processes "
+                            "(0 = one per CPU); reports merge in seed "
+                            "order, identical to --jobs 1")
     chaos.add_argument("--no-failover", action="store_true",
                        help="skip the final fail-and-recover "
                             "consistency verification")
@@ -242,6 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--max-regression", type=float, default=0.30,
                       help="allowed fractional regression per metric "
                            "(default 0.30)")
+    perf.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="shard the benchmarks across N worker "
+                           "processes (0 = one per CPU); same table "
+                           "structure as --jobs 1, but concurrent "
+                           "benchmarks contend for cores — do not "
+                           "record baselines with --jobs > 1")
     perf.set_defaults(func=_cmd_perf)
 
     report = sub.add_parser(

@@ -5,14 +5,16 @@ the reproduction runs on.  Public surface:
 
 * :class:`Simulator` — clock, event queue, process spawner.
 * :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` —
-  waitables.
+  waitables (plus :class:`SleepRequest`, the event-free marker behind
+  the ``sim.sleep`` pacing fast path).
 * :class:`Process` — spawned generator handle with join/interrupt.
 * :class:`Lock`, :class:`Semaphore`, :class:`Store`, :class:`Gate` —
   synchronisation.
 * :class:`NetworkLink`, :class:`SitePair` — inter-site links.
 """
 
-from repro.simulation.events import AllOf, AnyOf, Event, Timeout
+from repro.simulation.events import (AllOf, AnyOf, Event, SleepRequest,
+                                     Timeout)
 from repro.simulation.kernel import Simulator
 from repro.simulation.network import LinkDownError, NetworkLink, SitePair
 from repro.simulation.process import Process
@@ -33,6 +35,7 @@ __all__ = [
     "Semaphore",
     "Simulator",
     "SitePair",
+    "SleepRequest",
     "Store",
     "Timeout",
     "TraceLog",

@@ -17,6 +17,7 @@ Three terminal states exist:
 from __future__ import annotations
 
 import itertools
+from heapq import heappush
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.errors import ProcessError, SimTimeError
@@ -29,6 +30,16 @@ _event_ids = itertools.count(1)
 PENDING = "pending"
 SUCCEEDED = "succeeded"
 FAILED = "failed"
+
+#: typed kernel-queue entry kinds — the single source of truth shared
+#: with :mod:`repro.simulation.kernel`, which dispatches on them in its
+#: run loop.  Hot constructors here push entries directly (no scheduling
+#: method call) so the kinds live next to the code that emits them.
+KIND_TIMEOUT = 0    # a = Event to succeed, b = success value
+KIND_CALLBACK = 1   # a = callable, b = Event passed as its argument
+KIND_RESUME = 2     # a = Process, b = fired Event (or None)
+KIND_CALL = 3       # a = CallbackHandle from call_at, b unused
+KIND_SLEEP = 4      # a = Process, b = sleep token (stale-wakeup guard)
 
 
 class Event:
@@ -51,7 +62,10 @@ class Event:
         self.event_id = next(_event_ids)
         self._state = PENDING
         self._value: object = None
-        self._callbacks: list[Callable[[Event], None]] = []
+        # lazily created on the first waiter: most events (timeouts on
+        # the scheduling hot path) have exactly zero or one callback,
+        # and the empty-list allocation was measurable
+        self._callbacks: Optional[list[Callable[[Event], None]]] = None
 
     # -- state inspection ---------------------------------------------------
 
@@ -84,7 +98,20 @@ class Event:
 
         Returns self so callers can write ``return event.succeed(v)``.
         """
-        self._trigger(SUCCEEDED, value)
+        # inlined _trigger: succeed is the kernel's timeout dispatch
+        # path, and the callbacks go straight into the now-queue
+        if self._state != PENDING:
+            raise ProcessError(f"{self!r} already triggered")
+        self._state = SUCCEEDED
+        self._value = value
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = None
+            sim = self.sim
+            nowq = sim._nowq
+            sequence = sim._sequence
+            for callback in callbacks:
+                nowq.append((next(sequence), KIND_CALLBACK, callback, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -99,9 +126,11 @@ class Event:
             raise ProcessError(f"{self!r} already triggered")
         self._state = state
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self.sim._schedule_callback(self, callback)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = None
+            for callback in callbacks:
+                self.sim._schedule_callback(self, callback)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Register ``callback(event)`` to run when the event fires.
@@ -110,7 +139,11 @@ class Event:
         (still through the event queue, preserving deterministic order).
         """
         if self._state == PENDING:
-            self._callbacks.append(callback)
+            callbacks = self._callbacks
+            if callbacks is None:
+                self._callbacks = [callback]
+            else:
+                callbacks.append(callback)
         else:
             self.sim._schedule_callback(self, callback)
 
@@ -128,12 +161,26 @@ class Timeout(Event):
                  name: str = "") -> None:
         if delay < 0:
             raise SimTimeError(f"negative timeout delay: {delay}")
-        # the default debug label is rendered lazily in __repr__ —
-        # timeouts dominate event allocation and the f-string cost is
-        # measurable on the kernel hot path
-        super().__init__(sim, name=name)
+        # flattened Event.__init__ (no super() dispatch) and a lazily
+        # rendered debug label: timeouts dominate event allocation on
+        # the scheduling hot path and both costs are measurable
+        self.sim = sim
+        self.name = name
+        self.event_id = next(_event_ids)
+        self._state = PENDING
+        self._value = None
+        self._callbacks = None
         self.delay = delay
-        sim._schedule_timeout(self, delay, value)
+        # inlined Simulator._schedule_timeout: push the typed entry
+        # directly (zero-delay timeouts take the now-queue, skipping
+        # the heap entirely)
+        if delay == 0.0:
+            sim._nowq.append(
+                (next(sim._sequence), KIND_TIMEOUT, self, value))
+        else:
+            heappush(sim._queue,
+                     (sim._now + delay, next(sim._sequence),
+                      KIND_TIMEOUT, self, value))
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else f" ({self.delay:g}s)"
@@ -205,15 +252,47 @@ class AnyOf(Condition):
 
 
 class CallbackHandle:
-    """Cancellation token returned by :meth:`Simulator.call_at`."""
+    """Cancellation token returned by :meth:`Simulator.call_at`.
 
-    __slots__ = ("cancelled", "fn")
+    The handle sits directly in the kernel's queue as a typed entry;
+    cancelling turns that entry into a tombstone the kernel drops
+    lazily at pop (and excludes from ``pending_events``/``peek`` via
+    the owning simulator's cancelled-entry count).
+    """
 
-    def __init__(self, fn: Optional[Callable[[], None]]) -> None:
+    __slots__ = ("cancelled", "fn", "_sim")
+
+    def __init__(self, fn: Optional[Callable[[], None]],
+                 sim: Optional["Simulator"] = None) -> None:
         self.cancelled = False
         self.fn = fn
+        #: owning simulator while the entry is still queued; cleared at
+        #: dispatch and at cancel so the cancelled-entry count moves
+        #: exactly once per queued handle
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the scheduled callback from running (idempotent)."""
         self.cancelled = True
         self.fn = None
+        if self._sim is not None:
+            self._sim._cancelled_pending += 1
+            self._sim = None
+
+
+class SleepRequest:
+    """Marker yielded to the kernel by :meth:`Simulator.sleep`.
+
+    Not an event: nothing can wait on it, combine it, or observe it.
+    The kernel schedules the yielding process's resume directly — no
+    :class:`Timeout` object, no callback list, no event id — which is
+    why ``yield sim.sleep(d)`` is the fast path for pure pacing waits.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+    def __repr__(self) -> str:
+        return f"<SleepRequest {self.delay:g}s>"

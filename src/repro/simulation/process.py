@@ -22,7 +22,8 @@ import itertools
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.errors import Interrupted, ProcessError
-from repro.simulation.events import Event
+from repro.simulation.events import (PENDING, SUCCEEDED, Event,
+                                     SleepRequest)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.kernel import Simulator
@@ -39,7 +40,7 @@ class Process:
     """
 
     __slots__ = ("sim", "name", "process_id", "_generator", "_terminated",
-                 "_waiting_on", "_interrupts")
+                 "_waiting_on", "_interrupts", "_sleep_token", "_step_ref")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = "") -> None:
@@ -54,6 +55,14 @@ class Process:
         self._terminated: Event = Event(sim, name=f"{self.name}.terminated")
         self._waiting_on: Optional[Event] = None
         self._interrupts: list[Interrupted] = []
+        #: staleness guard for the sim.sleep fast path: a queued sleep
+        #: resume only fires while its token is still current; any real
+        #: step (e.g. an interrupt pulling us out of the sleep)
+        #: invalidates outstanding sleep entries by bumping the token
+        self._sleep_token = 0
+        #: one reusable bound method — registering a wait callback no
+        #: longer allocates a method object per step
+        self._step_ref = self._step
 
     # -- inspection ----------------------------------------------------------
 
@@ -95,7 +104,7 @@ class Process:
 
     def _step(self, fired: Optional[Event]) -> None:
         """Advance the generator by one yield.  Called only by the kernel."""
-        if not self.alive:
+        if self._terminated._state != PENDING:  # dead (inlined .alive)
             return
         # Ignore stale wakeups: if we are waiting on event X and get a
         # resume for event Y (e.g. an AnyOf child that lost the race after
@@ -105,16 +114,19 @@ class Process:
         if fired is None and not self._interrupts and self._waiting_on is not None:
             return
         self._waiting_on = None
+        self._sleep_token += 1
         try:
             if self._interrupts:
                 interrupt = self._interrupts.pop(0)
                 target = self._generator.throw(interrupt)
             elif fired is None:
                 target = self._generator.send(None)
-            elif fired.ok:
-                target = self._generator.send(fired.value)
+            elif fired._state == SUCCEEDED:
+                # a delivered event is triggered by construction, so its
+                # value/state can be read without the property guards
+                target = self._generator.send(fired._value)
             else:
-                target = self._generator.throw(fired.value)  # type: ignore[arg-type]
+                target = self._generator.throw(fired._value)  # type: ignore[arg-type]
         except StopIteration as stop:
             self._terminated.succeed(stop.value)
             return
@@ -128,29 +140,54 @@ class Process:
                 raise
             self._terminated.fail(exc)
             return
+        # inlined _wait_for fast path: waiting on an event (timeouts
+        # dominate) registers the one reusable bound method directly
+        if isinstance(target, Event):
+            if target.sim is not self.sim:
+                self._terminated.fail(ProcessError(
+                    f"{self!r} waited on {target!r} from another "
+                    "simulator"))
+                return
+            self._waiting_on = target
+            if target._state == PENDING:
+                callbacks = target._callbacks
+                if callbacks is None:
+                    target._callbacks = [self._step_ref]
+                else:
+                    callbacks.append(self._step_ref)
+            else:
+                self.sim._schedule_callback(target, self._step_ref)
+            return
         self._wait_for(target)
 
     def _wait_for(self, target: object) -> None:
+        """Handle the non-:class:`Event` waitables a process can yield.
+
+        The Event case — the hot path — is inlined in :meth:`_step`.
+        """
         if target is None:
             # Bare yield: resume in the same timestep after queued events.
             self.sim._schedule_resume(self, None)
             return
+        if type(target) is SleepRequest:
+            # sim.sleep fast path: the kernel resumes us directly at
+            # now + delay — no Timeout event is ever materialised
+            self._sleep_token += 1
+            self.sim._schedule_sleep(target.delay, self, self._sleep_token)
+            return
         if isinstance(target, Process):
-            target = target.join()
-        if not isinstance(target, Event):
-            self._generator.close()
-            self._terminated.fail(ProcessError(
-                f"{self!r} yielded {target!r}; processes may only yield "
-                "events, processes, or None"))
+            join = target.join()
+            if join.sim is not self.sim:
+                self._terminated.fail(ProcessError(
+                    f"{self!r} waited on {join!r} from another simulator"))
+                return
+            self._waiting_on = join
+            join.add_callback(self._step_ref)
             return
-        if target.sim is not self.sim:
-            self._terminated.fail(ProcessError(
-                f"{self!r} waited on {target!r} from another simulator"))
-            return
-        self._waiting_on = target
-        # the bound method is the resume callback directly — no closure
-        # allocation on the hot path (one wait per process step)
-        target.add_callback(self._step)
+        self._generator.close()
+        self._terminated.fail(ProcessError(
+            f"{self!r} yielded {target!r}; processes may only yield "
+            "events, processes, or None"))
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "dead"

@@ -38,6 +38,21 @@ class TestParser:
         assert args.campaign == "quick"
         assert args.seed == 7
         assert not args.no_failover
+        assert not args.soak
+        assert args.seeds == 1
+        assert args.jobs == 1
+
+    def test_chaos_fanout_arguments(self):
+        args = build_parser().parse_args(
+            ["chaos", "--soak", "--seeds", "4", "--jobs", "2"])
+        assert args.soak
+        assert args.seeds == 4
+        assert args.jobs == 2
+
+    def test_perf_jobs_argument(self):
+        args = build_parser().parse_args(["perf", "--quick", "--jobs", "3"])
+        assert args.jobs == 3
+        assert build_parser().parse_args(["perf"]).jobs == 1
 
     def test_chaos_rejects_unknown_preset(self, capsys):
         with pytest.raises(SystemExit):
@@ -104,3 +119,19 @@ class TestCommands:
         assert "chaos campaign 'quick' seed=7: PASS" in output
         assert "fault timeline" in output
         assert "invariant violations: none" in output
+
+    def test_chaos_multi_seed_parallel_matches_serial(self, capsys):
+        assert main(["chaos", "--seed", "7", "--seeds", "2",
+                     "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["chaos", "--seed", "7", "--seeds", "2",
+                     "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+        assert "chaos campaign 'quick' seed=7: PASS" in serial
+        assert "chaos campaign 'quick' seed=8: PASS" in serial
+        assert "campaigns: 2/2 passed" in serial
+
+    def test_chaos_rejects_nonpositive_seeds(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--seeds", "0"])
