@@ -21,6 +21,7 @@ EXPECTED_METRICS = {
     "journal_drain": True,
     "kernel_events": True,
     "restore_drain": True,
+    "host_write_e2e": True,
     "e1_cell": False,
 }
 

@@ -16,10 +16,13 @@ three implementations:
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator, Optional, Sequence, Tuple
 
 from repro.errors import VolumeError
 from repro.storage.array import StorageArray
+
+#: one batched write: (block, payload, tag)
+WriteItem = Tuple[int, bytes, Optional[str]]
 
 
 class BlockDevice:
@@ -39,6 +42,16 @@ class BlockDevice:
         """Durably write one block (process generator)."""
         raise NotImplementedError
         yield  # pragma: no cover
+
+    def write_blocks(self, items: Sequence[WriteItem],
+                     ) -> Generator[object, object, None]:
+        """Durably write several blocks, in order (process generator).
+
+        Default implementation writes serially; array-backed devices
+        override this with the array's batched host-write path.
+        """
+        for block, payload, tag in items:
+            yield from self.write_block(block, payload, tag=tag)
 
 
 class ArrayBlockDevice(BlockDevice):
@@ -60,6 +73,15 @@ class ArrayBlockDevice(BlockDevice):
                     ) -> Generator[object, object, None]:
         yield from self.array.host_write(self.volume_id, block, payload,
                                          tag=tag)
+
+    def write_blocks(self, items: Sequence[WriteItem],
+                     ) -> Generator[object, object, None]:
+        """Batched host writes: one aggregated media wait for the whole
+        flush, identical ack order (see ``StorageArray.host_write_many``)."""
+        volume_id = self.volume_id
+        yield from self.array.host_write_many(
+            [(volume_id, block, payload, tag)
+             for block, payload, tag in items])
 
     def __repr__(self) -> str:
         return (f"<ArrayBlockDevice {self.array.serial}:"

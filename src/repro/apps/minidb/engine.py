@@ -317,11 +317,12 @@ class MiniDB:
         yield self._commit_latch.acquire()
         try:
             dirty = sorted(self._dirty)
-            for page_id in dirty:
-                page = self._cache[page_id]
-                yield from self.data_device.write_block(
-                    page_id, page.to_bytes(),
-                    tag=f"page:{self.name}:{page_id}")
+            # one batched flush: the array aggregates the media waits of
+            # the whole dirty set instead of paying them page by page
+            yield from self.data_device.write_blocks(
+                [(page_id, self._cache[page_id].to_bytes(),
+                  f"page:{self.name}:{page_id}")
+                 for page_id in dirty])
             self._dirty.clear()
             yield from self.wal.append(WalRecord(
                 type=wal.CHECKPOINT, checkpoint_lsn=self.wal.next_lsn))
@@ -358,10 +359,13 @@ class MiniDB:
             # on-disk image rather than shadowing it.
             yield from self._load_page(bucket_for_key(key,
                                                       self.bucket_count))
-        for key, value in txn.writes.items():
-            stamped = yield from self.wal.append(WalRecord(
-                type=wal.UPDATE, txn_id=txn.txn_id, key=key, value=value))
-            txn.stamped_updates.append(stamped)
+        # one batched WAL flush for the transaction's redo records:
+        # contiguous LSNs in write order, one latch hold, one media wait
+        stamped = yield from self.wal.append_many(
+            [WalRecord(type=wal.UPDATE, txn_id=txn.txn_id, key=key,
+                       value=value)
+             for key, value in txn.writes.items()])
+        txn.stamped_updates.extend(stamped)
 
     def _apply(self, txn: Transaction) -> None:
         for record in txn.stamped_updates:

@@ -12,6 +12,10 @@ Unlike E1–E8 (which assert *simulated* behaviour), this suite measures
   main journal shipped and applied to secondary volumes, in entries per
   wall second (the C5 insight: the backup-side apply loop must keep up
   with the primary's ack rate or lag grows without bound);
+* ``host_write_e2e`` — end-to-end batched host-write ingest rate at the
+  main site (install + journal append + history ack per write), in
+  writes per wall second — the paper's "no impact on business
+  processing" claim lives or dies on this path;
 * ``e1_cell`` — wall seconds for one E1 scenario cell (full business
   stack), the macro guard that micro wins actually reach the workload.
 
@@ -41,9 +45,11 @@ Facts = Dict[str, object]
 #: benchmark sizes: full mode for local runs, quick mode for CI smoke
 _SIZES = {
     "full": dict(journal_entries=300_000, kernel_events=300_000,
-                 restore_entries=12_000, e1_duration=0.5),
+                 restore_entries=12_000, host_writes=200_000,
+                 e1_duration=0.5),
     "quick": dict(journal_entries=100_000, kernel_events=100_000,
-                  restore_entries=4_000, e1_duration=0.25),
+                  restore_entries=4_000, host_writes=60_000,
+                  e1_duration=0.25),
 }
 
 
@@ -183,6 +189,63 @@ def bench_restore_drain(entries: int, volumes: int = 2,
     return entries / elapsed
 
 
+def bench_host_write_e2e(writes: int, volumes: int = 2,
+                         batch: int = 64) -> float:
+    """End-to-end batched host-write ingest rate (writes per wall s).
+
+    The full main-site pipeline a business write rides: validation,
+    block install, journal append and history ack, issued through
+    ``host_write_many`` in ``batch``-sized batches with the background
+    transfer/restore loops stopped, so the measurement isolates ingest.
+    """
+    from repro.simulation.kernel import Simulator
+    from repro.simulation.network import NetworkLink
+    from repro.storage.adc import AdcConfig
+    from repro.storage.array import ArrayConfig, StorageArray
+
+    sim = Simulator(seed=5)
+    _disable_tracing(sim)
+    config = ArrayConfig(adc=AdcConfig(interval_jitter=0.0))
+    main = StorageArray(sim, serial="PERF-INGT", config=config)
+    backup = StorageArray(sim, serial="PERF-INGB", config=config)
+    main_pool = main.create_pool(10_000_000)
+    backup_pool = backup.create_pool(10_000_000)
+    link = NetworkLink(sim, latency=0.001, name="perf-ingest-link")
+    main_journal = main.create_journal(main_pool.pool_id, writes + 10)
+    backup_journal = backup.create_journal(backup_pool.pool_id,
+                                           writes + 10)
+    main.create_journal_group("perf-ingest", main_journal.journal_id,
+                              backup, backup_journal.journal_id, link)
+    group = main.journal_groups["perf-ingest"]
+    group.stop()
+    pvols = []
+    for index in range(volumes):
+        pvol = main.create_volume(main_pool.pool_id, 4096)
+        svol = backup.create_volume(backup_pool.pool_id, 4096)
+        main.create_async_pair(f"perf-ingest-{index}", "perf-ingest",
+                               pvol.volume_id, backup, svol.volume_id)
+        pvols.append(pvol)
+
+    payload = b"\x7e" * 128
+
+    def writer(sim):
+        for first in range(0, writes, batch):
+            count = min(batch, writes - first)
+            yield from main.host_write_many(
+                [(pvols[(first + offset) % volumes].volume_id,
+                  (first + offset) % 1024, payload)
+                 for offset in range(count)])
+
+    process = sim.spawn(writer(sim), name="perf-ingest-writer")
+    with _no_gc():
+        started = time.perf_counter()
+        sim.run_until_complete(process)
+        elapsed = time.perf_counter() - started
+    assert len(group.main_journal) == writes
+    assert len(main.history) == writes
+    return writes / elapsed
+
+
 def bench_e1_cell(duration: float) -> float:
     """Wall seconds for one E1 scenario cell (lower is better)."""
     from repro.apps import WorkloadConfig, run_order_workload
@@ -210,6 +273,7 @@ _SUITE = (
     ("journal_drain", "journal_entries", "entries/s", True),
     ("kernel_events", "kernel_events", "events/s", True),
     ("restore_drain", "restore_entries", "entries/s", True),
+    ("host_write_e2e", "host_writes", "writes/s", True),
     ("e1_cell", "e1_duration", "seconds", False),
 )
 
@@ -218,6 +282,7 @@ _BENCH_FNS = {
     "journal_drain": bench_journal_drain,
     "kernel_events": bench_kernel_events,
     "restore_drain": bench_restore_drain,
+    "host_write_e2e": bench_host_write_e2e,
     "e1_cell": bench_e1_cell,
 }
 
@@ -246,7 +311,7 @@ def run_perf(quick: bool = False, jobs: int = 1) -> Tuple[Table, Facts]:
     ``facts["metrics"]`` maps benchmark name to ``{"value", "unit",
     "higher_is_better"}`` — the schema :func:`compare_perf` checks.
 
-    ``jobs`` shards the five benchmarks across worker processes
+    ``jobs`` shards the benchmarks across worker processes
     (deterministic merge in suite order).  The table *structure* is
     identical for any job count, but concurrent benchmarks contend for
     the same cores, so the wall-clock *values* read lower than a

@@ -252,7 +252,8 @@ class JournalGroup:
             entry = self._append_entry(
                 pair.pvol.volume_id, block, value.payload, value.version,
                 trace_id=copy_span.trace_id if copy_span else None,
-                span_id=copy_span.span_id if copy_span else None)
+                span_id=copy_span.span_id if copy_span else None,
+                checksum=value.checksum)
             if entry is not None:
                 watermark = entry.sequence
         if copy_span is not None:
@@ -284,6 +285,7 @@ class JournalGroup:
 
     def journal_append(self, volume_id: int, block: int, payload: bytes,
                        version: int, span: Optional[Span] = None,
+                       checksum: Optional[int] = None,
                        ) -> Generator[object, object, bool]:
         """Append one host write to the main journal (host-write path).
 
@@ -294,7 +296,8 @@ class JournalGroup:
 
         ``span`` is the originating host-write span; the entry carries
         its trace context to the backup site so the restore apply can
-        close the causal chain.
+        close the causal chain.  ``checksum`` reuses the payload CRC32
+        the host-write path already computed.
         """
         tracer = self.tracer
         append_span = None
@@ -312,7 +315,7 @@ class JournalGroup:
             trace_id = span_id = None
         entry = self._append_entry(
             volume_id, block, payload, version,
-            trace_id=trace_id, span_id=span_id)
+            trace_id=trace_id, span_id=span_id, checksum=checksum)
         protected = entry is not None
         if append_span is not None:
             tracer.finish(
@@ -321,9 +324,52 @@ class JournalGroup:
                 sequence=entry.sequence if entry else None)
         return protected
 
+    def journal_append_many(
+            self, writes: List[tuple], span: Optional[Span] = None,
+            ) -> Generator[object, object, int]:
+        """Append a batch of host writes under **one** journal-append
+        latency and one span (the batched host-write path).
+
+        ``writes`` is a sequence of ``(volume_id, block, payload,
+        version, checksum)`` in ack order.  Entries are appended in
+        input order with per-write suspension semantics identical to
+        serial :meth:`journal_append` calls: a journal-full on write *k*
+        suspends the group and writes *k*.. are only marked dirty.
+        Returns the number of protected (journaled) writes.
+        """
+        tracer = self.tracer
+        append_span = None
+        if tracer.enabled:
+            append_span = tracer.start(
+                "journal-append", parent=span, group=self.group_id,
+                writes=len(writes))
+        if self.config.journal_append_latency > 0:
+            yield self.sim.timeout(self.config.journal_append_latency)
+        if span is not None and span.trace_id is not None:
+            trace_id, span_id = span.trace_id, span.span_id
+        elif append_span is not None:
+            trace_id, span_id = append_span.trace_id, append_span.span_id
+        else:
+            trace_id = span_id = None
+        protected = 0
+        append_entry = self._append_entry
+        for volume_id, block, payload, version, checksum in writes:
+            entry = append_entry(volume_id, block, payload, version,
+                                 trace_id=trace_id, span_id=span_id,
+                                 checksum=checksum)
+            if entry is not None:
+                protected += 1
+        if append_span is not None:
+            tracer.finish(
+                append_span,
+                status="ok" if protected == len(writes) else "unprotected",
+                protected=protected)
+        return protected
+
     def _append_entry(self, volume_id: int, block: int, payload: bytes,
                       version: int, trace_id: Optional[str] = None,
                       span_id: Optional[str] = None,
+                      checksum: Optional[int] = None,
                       ) -> Optional[JournalEntry]:
         pair = self._pairs_by_pvol.get(volume_id)
         if self.suspended:
@@ -333,7 +379,7 @@ class JournalGroup:
         try:
             return self.main_journal.append(
                 volume_id, block, payload, version, self.sim.now,
-                trace_id=trace_id, span_id=span_id)
+                trace_id=trace_id, span_id=span_id, checksum=checksum)
         except JournalFullError:
             self._suspend(PairState.PSUE, "main journal full")
             if pair is not None:
@@ -449,7 +495,8 @@ class JournalGroup:
                     entry = self._append_entry(
                         volume_id, block, value.payload, value.version,
                         trace_id=resync_span.trace_id,
-                        span_id=resync_span.span_id)
+                        span_id=resync_span.span_id,
+                        checksum=value.checksum)
                     if entry is None:
                         # suspended again (journal refilled or a fresh
                         # quarantine): the current block was re-marked

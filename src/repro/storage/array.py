@@ -115,6 +115,10 @@ class StorageArray:
             "repro_host_read_latency_seconds",
             help="Host read latency (streaming sketch)", unit="seconds",
             array=serial)
+        # the host paths record each sample once; the summary fans it
+        # out to the sketch so both surfaces stay populated
+        self.write_latency.pipe_to(self.write_latency_hist)
+        self.read_latency.pipe_to(self.read_latency_hist)
         self.host_writes = registry.counter(
             "repro_host_writes_total", help="Acknowledged host writes",
             array=serial)
@@ -454,29 +458,159 @@ class StorageArray:
                 f"volume {volume_id} is {volume.role.value}; host writes "
                 "are rejected")
         start = self.sim.now
-        span = self.tracer.start("host-write", array=self.serial,
-                                 volume=volume_id, block=block)
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start("host-write", array=self.serial,
+                                volume=volume_id, block=block)
+        # hash the payload once; the CRC32 rides end-to-end into the
+        # stored BlockValue and the journal entry
+        data = payload if type(payload) is bytes else bytes(payload)
+        checksum = payload_checksum(data)
         try:
-            version = yield from volume.write_block(block, payload)
+            version = yield from volume.write_block(block, data,
+                                                    checksum=checksum)
             route = self._route_by_pvol.get(volume_id)
-            if isinstance(route, SyncMirror):
-                yield from route.replicate_write(volume_id, block, payload,
-                                                 version, span=span)
-            elif isinstance(route, JournalGroup):
-                yield from route.journal_append(volume_id, block, payload,
-                                                version, span=span)
+            if route is not None:
+                if isinstance(route, JournalGroup):
+                    yield from route.journal_append(
+                        volume_id, block, data, version, span=span,
+                        checksum=checksum)
+                else:
+                    yield from route.replicate_write(volume_id, block, data,
+                                                     version, span=span)
             self._check_alive()  # array may have failed mid-write: no ack
         except BaseException:
-            self.tracer.finish(span, status="error")
+            if span is not None:
+                tracer.finish(span, status="error")
             raise
         record = self.history.append(self.sim.now, volume_id, block,
-                                     version, tag=tag)
-        latency = self.sim.now - start
-        self.write_latency.record(latency)
-        self.write_latency_hist.observe(latency)
+                                     version, tag)
+        self.write_latency.record(self.sim.now - start)
         self.host_writes.increment()
-        self.tracer.finish(span, ack_seq=record.seq, version=version)
+        if span is not None:
+            tracer.finish(span, ack_seq=record.seq, version=version)
         return record
+
+    def host_write_many(self, writes: Sequence[tuple],
+                        tag: Optional[str] = None,
+                        ) -> Generator[object, object, List[WriteRecord]]:
+        """A batch of host writes applied with one aggregated media wait,
+        one tracer span, and one generator frame.
+
+        ``writes`` is a sequence of ``(volume_id, block, payload)`` or
+        ``(volume_id, block, payload, tag)`` tuples (a per-write tag
+        overrides the batch-level ``tag``).  Process generator; returns
+        one :class:`WriteRecord` per write, in input order.
+
+        Semantics relative to issuing the same writes serially through
+        :meth:`host_write`:
+
+        * **ack order is unchanged** — versions, journal sequences and
+          history ack seqs are allocated per write in input order, so
+          the WriteRecord sequence, the journal contents and the final
+          images are identical to the serial run;
+        * the batch waits out ``max`` of the per-write media costs (the
+          media overlaps concurrent block writes, exactly like the
+          batched restore applier) plus one journal-append latency per
+          routed journal group, instead of the serial sum — ack
+          *timestamps* are therefore earlier, and all writes of the
+          batch ack at the same instant;
+        * per-write failure semantics are preserved: a suspended journal
+          group marks each unprotected write dirty exactly as serial
+          appends would, and an array failure before the ack point acks
+          none of the batch.
+
+        Synchronously mirrored volumes take their per-write replication
+        RTT after the aggregated local wait (the remote round trip
+        cannot be collapsed without changing SDC semantics).
+        """
+        self._check_alive()
+        if not writes:
+            return []
+        # validate everything and hash each payload once, up front —
+        # a bad write rejects the whole batch before any state changes
+        prepared = []
+        for item in writes:
+            if len(item) == 4:
+                volume_id, block, payload, write_tag = item
+            else:
+                volume_id, block, payload = item
+                write_tag = tag
+            volume = self._require_volume(volume_id)
+            if not volume.writable_by_host:
+                raise VolumeError(
+                    f"volume {volume_id} is {volume.role.value}; host "
+                    "writes are rejected")
+            if not isinstance(payload, (bytes, bytearray)):
+                raise VolumeError(
+                    f"{volume.name}: payload must be bytes, got "
+                    f"{type(payload).__name__}")
+            volume._check_block(block)
+            volume._check_online()
+            data = payload if type(payload) is bytes else bytes(payload)
+            prepared.append((volume, block, data, payload_checksum(data),
+                             write_tag))
+        start = self.sim.now
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start("host-write-batch", array=self.serial,
+                                writes=len(prepared))
+        try:
+            # one aggregated media wait: concurrent block writes (and
+            # their pending copy-on-write preservations) overlap
+            delay = max(volume.apply_delay(block)
+                        for volume, block, _data, _crc, _t in prepared)
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            # install in input order (latency already paid), collecting
+            # the journal legs per routed group in ack order
+            applied = []
+            journal_batches: Dict[JournalGroup, List[tuple]] = {}
+            sync_writes = []
+            for volume, block, data, checksum, write_tag in prepared:
+                version = volume.install_block(block, data, None,
+                                               checksum=checksum)
+                applied.append((volume.volume_id, block, version,
+                                write_tag))
+                route = self._route_by_pvol.get(volume.volume_id)
+                if route is None:
+                    continue
+                if isinstance(route, JournalGroup):
+                    batch = journal_batches.get(route)
+                    if batch is None:
+                        batch = journal_batches[route] = []
+                    batch.append((volume.volume_id, block, data, version,
+                                  checksum))
+                else:
+                    sync_writes.append((route, volume.volume_id, block,
+                                        data, version))
+            for group, batch in journal_batches.items():
+                yield from group.journal_append_many(batch, span=span)
+            for route, volume_id, block, data, version in sync_writes:
+                yield from route.replicate_write(volume_id, block, data,
+                                                 version, span=span)
+            self._check_alive()  # array failed mid-batch: ack none
+        except BaseException:
+            if span is not None:
+                tracer.finish(span, status="error")
+            raise
+        now = self.sim.now
+        history_append = self.history.append
+        records = [history_append(now, volume_id, block, version, write_tag)
+                   for volume_id, block, version, write_tag in applied]
+        # every write of the batch acked with the batch's latency: one
+        # sample per write keeps sample counts equal to host_writes
+        latency = now - start
+        record_latency = self.write_latency.record
+        for _ in records:
+            record_latency(latency)
+        self.host_writes.increment(len(records))
+        if span is not None:
+            tracer.finish(span, first_ack_seq=records[0].seq,
+                          last_ack_seq=records[-1].seq)
+        return records
 
     def host_read(self, volume_id: int, block: int,
                   ) -> Generator[object, object, Optional[bytes]]:
@@ -485,9 +619,7 @@ class StorageArray:
         volume = self._require_volume(volume_id)
         start = self.sim.now
         payload = yield from volume.read_block(block)
-        latency = self.sim.now - start
-        self.read_latency.record(latency)
-        self.read_latency_hist.observe(latency)
+        self.read_latency.record(self.sim.now - start)
         self.host_reads.increment()
         return payload
 

@@ -19,13 +19,18 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class WriteRecord:
     """One acknowledged host write.
 
     ``version`` is the per-volume monotone version the write installed in
     ``block`` — the pair (volume_id, version) uniquely identifies a write,
     which is how backup block maps are matched back to history records.
+
+    Not frozen: the frozen-dataclass ``__init__`` pays one
+    ``object.__setattr__`` per field and the history append sits on the
+    host-write ack path.  Records are immutable by convention — the
+    history never hands out anything it would re-read.
     """
 
     seq: int
@@ -49,16 +54,26 @@ class WriteHistory:
         self._by_volume: Dict[int, List[WriteRecord]] = {}
         # (volume_id, version) -> record, for backup image matching
         self._by_version: Dict[Tuple[int, int], WriteRecord] = {}
+        # cached immutable view handed out by :attr:`records`;
+        # invalidated on append so repeated probe/checker reads are O(1)
+        self._view: Optional[Tuple[WriteRecord, ...]] = None
+        #: times the view tuple was (re)built — regression-test hook
+        #: proving repeated reads between appends do not copy the log
+        self.view_builds = 0
 
     def append(self, time: float, volume_id: int, block: int, version: int,
                tag: Optional[str] = None) -> WriteRecord:
         """Record an acked write; returns the record with its ack seq."""
-        record = WriteRecord(
-            seq=len(self._records), time=time, volume_id=volume_id,
-            block=block, version=version, tag=tag)
-        self._records.append(record)
-        self._by_volume.setdefault(volume_id, []).append(record)
+        records = self._records
+        record = WriteRecord(len(records), time, volume_id, block, version,
+                             tag)
+        records.append(record)
+        per_volume = self._by_volume.get(volume_id)
+        if per_volume is None:
+            per_volume = self._by_volume[volume_id] = []
+        per_volume.append(record)
         self._by_version[(volume_id, version)] = record
+        self._view = None
         return record
 
     def __len__(self) -> int:
@@ -66,8 +81,14 @@ class WriteHistory:
 
     @property
     def records(self) -> Tuple[WriteRecord, ...]:
-        """Immutable snapshot of the full history."""
-        return tuple(self._records)
+        """Immutable snapshot of the full history (cached between
+        appends, so probe loops and the consistency checker never pay a
+        per-read copy of the whole log)."""
+        view = self._view
+        if view is None:
+            view = self._view = tuple(self._records)
+            self.view_builds += 1
+        return view
 
     def for_volume(self, volume_id: int) -> List[WriteRecord]:
         """History restricted to one volume (ack order preserved)."""

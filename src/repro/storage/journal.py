@@ -43,7 +43,7 @@ def payload_checksum(payload: bytes) -> int:
 _entry_sequence = attrgetter("sequence")
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class JournalEntry:
     """One journaled host write.
 
@@ -53,6 +53,11 @@ class JournalEntry:
     of the payload computed at append time; it travels with the entry so
     the transfer-receive and restore-apply sides can detect corruption
     picked up on the wire or in the journal volume.
+
+    Not frozen: a frozen dataclass ``__init__`` pays one
+    ``object.__setattr__`` per field, which dominated the ingest hot
+    path.  Treat entries as immutable anyway — only the fault-injection
+    hooks (:meth:`JournalVolume.corrupt_entry`) may replace one.
     """
 
     sequence: int
@@ -143,32 +148,38 @@ class JournalVolume:
     def append(self, volume_id: int, block: int, payload: bytes,
                version: int, time: float,
                trace_id: Optional[str] = None,
-               span_id: Optional[str] = None) -> JournalEntry:
+               span_id: Optional[str] = None,
+               checksum: Optional[int] = None) -> JournalEntry:
         """Append a new entry, assigning the next sequence number.
 
         Raises :class:`JournalFullError` when at capacity; the sequence
-        counter is *not* consumed in that case.
+        counter is *not* consumed in that case.  ``checksum`` reuses a
+        payload CRC32 the caller already computed (the host-write path
+        hashes once and threads the value end-to-end); ``None`` computes
+        it here.
         """
-        if len(self._ring) - self._head >= self.capacity_entries:
+        ring = self._ring
+        occupancy = len(ring) - self._head
+        if occupancy >= self.capacity_entries:
             raise JournalFullError(
                 f"{self.name} full ({self.capacity_entries} entries)")
         # materialise the payload exactly once; bytes input is immutable
         # and passes through without a copy
         data = payload if type(payload) is bytes else bytes(payload)
+        if checksum is None:
+            checksum = payload_checksum(data)
+        sequence = self._next_sequence
         entry = JournalEntry(
-            sequence=self._next_sequence, volume_id=volume_id, block=block,
-            payload=data, version=version, created_at=time,
-            checksum=payload_checksum(data),
-            trace_id=trace_id, span_id=span_id)
-        self._next_sequence += 1
-        self.head_sequence = entry.sequence
-        self._ring.append(entry)
+            sequence, volume_id, block, data, version, time,
+            checksum, trace_id, span_id)
+        self._next_sequence = sequence + 1
+        self.head_sequence = sequence
+        ring.append(entry)
         size = len(data) + 64
         self._sizes.append(size)
         self.bytes_retained += size
-        occupancy = len(self._ring) - self._head
-        if occupancy > self.peak_entries:
-            self.peak_entries = occupancy
+        if occupancy >= self.peak_entries:
+            self.peak_entries = occupancy + 1
         return entry
 
     def ingest(self, entry: JournalEntry) -> None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Dict, Generator, List, NamedTuple, Optional
 
 from repro.errors import IntegrityError, VolumeError
 from repro.storage.journal import payload_checksum
@@ -46,13 +46,16 @@ class VolumeStatus(enum.Enum):
     BLOCKED = "blocked"
 
 
-@dataclass(frozen=True)
-class BlockValue:
+class BlockValue(NamedTuple):
     """Payload and version stored in one block.
 
     ``checksum`` is the payload's CRC32 installed by the write path;
     reads verify it so media corruption can never be returned silently.
     ``None`` (hand-built values, pre-checksum clones) skips verification.
+
+    A NamedTuple rather than a dataclass: block installs construct one
+    of these per write, and tuple construction runs at C speed while
+    keeping the same field access and value equality.
     """
 
     payload: bytes
@@ -169,12 +172,15 @@ class Volume:
 
     def write_block(self, block: int, payload: bytes,
                     version: Optional[int] = None,
+                    checksum: Optional[int] = None,
                     ) -> Generator[object, object, int]:
         """Write one block; returns the installed version.
 
         ``version=None`` allocates the next host version; an explicit
         version is a replication apply and must be newer than what the
-        block currently holds (restore applies in order).
+        block currently holds (restore applies in order).  ``checksum``
+        reuses a payload CRC32 the caller already computed; ``None``
+        hashes here.
         """
         if not isinstance(payload, (bytes, bytearray)):
             raise VolumeError(
@@ -182,7 +188,8 @@ class Volume:
                 f"{type(payload).__name__}")
         self._check_block(block)
         self._check_online()
-        yield from self._copy_on_write(block)
+        if self._snapshots:
+            yield from self._copy_on_write(block)
         if self.media.write_latency > 0:
             yield self.sim.timeout(self.media.write_latency)
         if version is None:
@@ -198,20 +205,22 @@ class Volume:
         # materialise once and checksum the stored bytes (bytes input is
         # already immutable and passes through without a copy)
         data = payload if type(payload) is bytes else bytes(payload)
-        self._blocks[block] = BlockValue(data, version,
-                                         checksum=payload_checksum(data))
+        if checksum is None:
+            checksum = payload_checksum(data)
+        self._blocks[block] = BlockValue(data, version, checksum)
         self.writes += 1
         return version
 
     # -- batched replication apply (used by the ADC restore loop) -----------
 
     def apply_delay(self, block: int) -> float:
-        """Simulated media cost of one replication apply to ``block``:
+        """Simulated media cost of one latency-free apply to ``block``:
         pending copy-on-write preservations plus the write itself.
 
-        The batched restore applier aggregates this across a window of
-        non-conflicting blocks (``max``, since the media writes overlap),
-        waits once, then installs with :meth:`install_block`.
+        The batched restore applier — and the batched host-write path
+        (:meth:`~repro.storage.array.StorageArray.host_write_many`) —
+        aggregate this across a batch (``max``, since the media writes
+        overlap), wait once, then install with :meth:`install_block`.
         """
         cost = self.media.write_latency
         cow = self.media.cow_copy_latency
@@ -222,30 +231,39 @@ class Volume:
             cost += pending * cow
         return cost
 
-    def install_block(self, block: int, payload: bytes, version: int,
+    def install_block(self, block: int, payload: bytes,
+                      version: Optional[int] = None,
                       checksum: Optional[int] = None) -> int:
-        """Latency-free replication apply (the caller already waited out
+        """Latency-free block install (the caller already waited out
         :meth:`apply_delay`).  Same validation and copy-on-write
-        semantics as :meth:`write_block` with an explicit version;
-        ``checksum`` reuses an already-computed payload CRC32 (e.g. from
-        the journal entry) instead of re-hashing.
+        semantics as :meth:`write_block`: an explicit ``version`` is a
+        replication apply, ``version=None`` allocates the next host
+        version (the batched host-write path).  ``checksum`` reuses an
+        already-computed payload CRC32 (e.g. from the journal entry)
+        instead of re-hashing.
         """
         self._check_block(block)
         self._check_online()
-        for snap in self._snapshots:
-            if not snap.deleted and not snap.has_preimage(block):
-                snap.save_preimage(block, self._blocks.get(block))
-        current = self._blocks.get(block)
-        if current is not None and current.version >= version:
-            raise VolumeError(
-                f"{self.name}: out-of-order apply to block {block}: "
-                f"have v{current.version}, got v{version}")
-        if version > self._version_counter:
-            self._version_counter = version
+        if self._snapshots:
+            blocks_get = self._blocks.get
+            for snap in self._snapshots:
+                if not snap.deleted and not snap.has_preimage(block):
+                    snap.save_preimage(block, blocks_get(block))
+        if version is None:
+            self._version_counter += 1
+            version = self._version_counter
+        else:
+            current = self._blocks.get(block)
+            if current is not None and current.version >= version:
+                raise VolumeError(
+                    f"{self.name}: out-of-order apply to block {block}: "
+                    f"have v{current.version}, got v{version}")
+            if version > self._version_counter:
+                self._version_counter = version
         data = payload if type(payload) is bytes else bytes(payload)
         if checksum is None:
             checksum = payload_checksum(data)
-        self._blocks[block] = BlockValue(data, version, checksum=checksum)
+        self._blocks[block] = BlockValue(data, version, checksum)
         self.writes += 1
         return version
 

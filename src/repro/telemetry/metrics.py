@@ -91,12 +91,26 @@ class LatencyRecorder:
         self.name = name
         self.labels: Dict[str, str] = {}
         self._samples: List[float] = []
+        self._mirror = None
+
+    def pipe_to(self, sink) -> "LatencyRecorder":
+        """Fan every future sample out to ``sink`` (anything with an
+        ``observe`` method, e.g. a :class:`Histogram` sketch) as well.
+
+        This lets a hot path record each sample exactly once while both
+        the exact summary (legacy API) and the streaming percentile
+        sketch stay populated.  Returns self for chaining.
+        """
+        self._mirror = sink
+        return self
 
     def record(self, latency: float) -> None:
         """Add one sample (seconds); negative samples are a bug."""
         if latency < 0:
             raise ValueError(f"negative latency sample: {latency}")
         self._samples.append(latency)
+        if self._mirror is not None:
+            self._mirror.observe(latency)
 
     #: registry-uniform alias for :meth:`record`
     observe = record

@@ -273,7 +273,12 @@ class LagReport:
 
 
 def replication_lag_report(tracer: Tracer) -> LagReport:
-    """Derive replication lag by joining restore-apply to host-write."""
+    """Derive replication lag by joining restore-apply to host-write.
+
+    Batched ingest (``host-write-batch`` spans) joins the same way —
+    one unit per batch, lagged to the *latest* restore apply of its
+    trace, since a batch acks all of its writes at one instant.
+    """
     applied_traces: Dict[str, float] = {}
     for span in tracer.named("restore-apply"):
         if span.finished:
@@ -282,7 +287,8 @@ def replication_lag_report(tracer: Tracer) -> LagReport:
                 applied_traces[span.trace_id] = span.end
     lags: List[float] = []
     unapplied = 0
-    for host_write in tracer.named("host-write"):
+    for host_write in (tracer.named("host-write")
+                       + tracer.named("host-write-batch")):
         if not host_write.finished:
             continue
         applied_at = applied_traces.get(host_write.trace_id)
