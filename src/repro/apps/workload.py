@@ -15,7 +15,7 @@ from typing import Generator, List, Optional
 
 from repro.apps.ecommerce import EcommerceApp, OrderResult
 from repro.simulation.kernel import Simulator
-from repro.storage.metrics import LatencyRecorder, LatencySummary
+from repro.telemetry.metrics import LatencyRecorder, LatencySummary
 
 #: pause inserted when a client iteration consumed no simulated time
 #: (instant rejections, zero-latency devices) so closed loops always

@@ -16,12 +16,18 @@ Public surface:
   :class:`ArrayCrash`, :class:`JournalSqueeze`, :class:`SlowDisk`,
   :class:`WireCorruption`, :class:`JournalCorruption`);
 * :class:`InvariantMonitor`, :class:`MonitorConfig`,
-  :class:`ChaosViolation` — the always-on invariant checks.
+  :class:`ChaosViolation` — the always-on invariant checks;
+* :func:`run_incident`, :func:`build_incident_plan`,
+  :class:`IncidentRun` — the canonical deterministic SLO incident
+  (``repro incident`` / ``repro slo`` CLIs): fault → alert fired →
+  suspension → resync → alert resolved, with a rendered postmortem.
 """
 
 from repro.chaos.engine import (ChaosEngine, ChaosEnvironment, ChaosReport,
-                                ChaosWorkload, build_chaos_environment,
-                                run_campaign, run_campaigns)
+                                ChaosWorkload, IncidentRun,
+                                build_chaos_environment,
+                                build_incident_plan, run_campaign,
+                                run_campaigns, run_incident)
 from repro.chaos.faults import (ArrayCrash, Fault, FaultEvent,
                                 JournalCorruption, JournalSqueeze,
                                 LinkBrownout, LinkPartition, SlowDisk,
@@ -42,6 +48,7 @@ __all__ = [
     "Fault",
     "FaultEvent",
     "FaultPlan",
+    "IncidentRun",
     "InvariantMonitor",
     "JournalCorruption",
     "JournalSqueeze",
@@ -54,7 +61,9 @@ __all__ = [
     "SlowDisk",
     "WireCorruption",
     "build_chaos_environment",
+    "build_incident_plan",
     "build_plan",
     "run_campaign",
     "run_campaigns",
+    "run_incident",
 ]

@@ -22,9 +22,11 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple
 
-from repro.chaos.faults import Fault, FaultEvent
+from repro.chaos.faults import (Fault, FaultEvent, JournalSqueeze,
+                                LinkPartition)
 from repro.chaos.invariants import (ChaosViolation, InvariantMonitor,
                                     MonitorConfig)
 from repro.chaos.plan import PRESETS, FaultPlan, build_plan
@@ -37,6 +39,8 @@ from repro.scenarios import (BusinessConfig, BusinessProcess, SystemConfig,
                              deploy_business_process)
 from repro.simulation import Simulator
 from repro.storage import AdcConfig, ArrayConfig, JournalGroup
+from repro.telemetry.incident import IncidentReport, build_incident
+from repro.telemetry.slo import AlertTransition, SloEngine, standard_rules
 
 #: pause a workload client takes after an order attempt fails because a
 #: fault (array crash) rejected its I/O, before retrying
@@ -240,6 +244,10 @@ class ChaosReport:
     failover_checked: bool = False
     failover_consistent: bool = False
     lost_committed_orders: int = -1
+    #: alert transitions the SLO engine observed during the campaign
+    alerts: List[AlertTransition] = field(default_factory=list)
+    #: auto-generated postmortem (set when any invariant was violated)
+    postmortem: Optional[IncidentReport] = None
 
     @property
     def passed(self) -> bool:
@@ -261,6 +269,9 @@ class ChaosReport:
                 f"{event.time:.6f}|{event.kind}|{event.action}\n".encode())
         for key in sorted(self.counters):
             hasher.update(f"{key}={self.counters[key]}\n".encode())
+        for transition in self.alerts:
+            hasher.update(f"{transition.time:.6f}|{transition.rule}"
+                          f"|{transition.state}\n".encode())
         hasher.update(
             f"orders={self.orders_completed} failed={self.failed_attempts} "
             f"lag={self.final_entry_lag} "
@@ -288,6 +299,12 @@ class ChaosReport:
                 f", lost committed orders {self.lost_committed_orders}")
         lines.append("  fault timeline:")
         lines.extend(f"    {event}" for event in self.timeline)
+        if self.alerts:
+            lines.append("  alert transitions:")
+            lines.extend(f"    {transition}"
+                         for transition in self.alerts)
+        else:
+            lines.append("  alert transitions: none")
         lines.append("  counters:")
         for key in sorted(self.counters):
             lines.append(f"    {key:44} {self.counters[key]}")
@@ -311,6 +328,8 @@ class ChaosEngine:
         self.monitor_config = monitor_config
         self.client_count = client_count
         self.timeline: List[FaultEvent] = []
+        #: the campaign's SLO engine (built in :meth:`run`)
+        self.slo: Optional[SloEngine] = None
 
     # -- fault driving -------------------------------------------------------
 
@@ -318,6 +337,8 @@ class ChaosEngine:
         self.timeline.append(FaultEvent(
             time=self.env.sim.now, kind=fault.kind, action=action,
             detail=detail))
+        self.env.sim.telemetry.recorder.record(
+            "fault", fault.kind, action=action, detail=detail)
 
     def _drive_fault(self, fault: Fault,
                      start: float) -> Generator[object, object, None]:
@@ -358,6 +379,10 @@ class ChaosEngine:
         workload = ChaosWorkload(env, client_count=self.client_count)
         monitor = InvariantMonitor(env, workload, self.monitor_config)
         monitor.start()
+        self.slo = SloEngine(sim, standard_rules(
+            env.system.main.array, env.group,
+            env.business.app.coordinator))
+        self.slo.start()
         for fault in self.plan.faults:
             sim.spawn(self._drive_fault(fault, start),
                       name=f"chaos-{fault.kind}")
@@ -391,6 +416,7 @@ class ChaosEngine:
                         f"suspended={env.group.suspended})")))
 
         monitor.final_checks()
+        self.slo.stop()
 
         if verify_failover:
             report.failover_checked = True
@@ -419,8 +445,29 @@ class ChaosEngine:
         report.violation_lines = monitor.summary_lines()
         report.orders_completed = workload.orders_completed
         report.failed_attempts = workload.failed_attempts
+        report.alerts = list(self.slo.transitions)
         report.counters = self._collect_counters()
+        if report.violations:
+            # auto-emit the postmortem while the evidence is still hot
+            report.postmortem = self.build_postmortem(report)
         return report
+
+    def build_postmortem(self, report: ChaosReport,
+                         title: Optional[str] = None) -> IncidentReport:
+        """Join this run's black box, spans, and metrics into a
+        postmortem (see :mod:`repro.telemetry.incident`)."""
+        notes = [f"campaign {'passed' if report.passed else 'FAILED'}: "
+                 f"{report.orders_completed} orders completed, "
+                 f"{len(report.violations)} invariant violations"]
+        return build_incident(
+            self.env.sim,
+            title=title or (f"chaos campaign {report.preset!r} "
+                            f"seed={report.seed}"),
+            seed=report.seed,
+            alerts=report.alerts or
+            (self.slo.transitions if self.slo else []),
+            window=(report.started_at, self.env.sim.now),
+            notes=notes)
 
     def _wait_for_convergence(self) -> bool:
         env = self.env
@@ -459,6 +506,13 @@ class ChaosEngine:
             len(self.env.corrupted_payloads)
         counters["transfers_dropped"] = \
             self.env.system.replication_link.transfers_dropped
+        if self.slo is not None:
+            counters["alerts_fired_total"] = sum(
+                1 for transition in self.slo.transitions
+                if transition.state == "firing")
+            counters["alerts_resolved_total"] = sum(
+                1 for transition in self.slo.transitions
+                if transition.state == "resolved")
         return counters
 
 
@@ -482,6 +536,54 @@ def run_campaign(seed: int, preset: str = "quick",
     plan = build_plan(env.sim, campaign)
     engine = ChaosEngine(env, plan, monitor_config=monitor_config)
     return engine.run(verify_failover=verify_failover)
+
+
+def build_incident_plan() -> FaultPlan:
+    """The canonical SLO-incident schedule: partition plus squeeze.
+
+    Timing is chosen so the causal chain unfolds strictly in order at
+    the chaos environment's scale: the partition (t=0.25) backs up the
+    main journal until the RPO burn-rate alert fires (~t=0.33, once the
+    long window's error budget burns); the squeeze (t=0.45) then
+    overflows the journal and suspends the group; both heal by t=0.70,
+    auto-repair resyncs, lag drains, and the alert resolves.
+    """
+    return FaultPlan(
+        name="incident", fault_window=1.3, converge_timeout=4.0,
+        faults=(LinkPartition(at=0.25, duration=0.45),
+                JournalSqueeze(at=0.45, duration=0.20, slack=24)))
+
+
+@dataclass
+class IncidentRun:
+    """One deterministic incident scenario, fully observed."""
+
+    report: ChaosReport
+    incident: IncidentReport
+    engine: ChaosEngine
+
+
+def run_incident(seed: int = 7, verify_failover: bool = False,
+                 dump_dir: Optional[str] = None) -> IncidentRun:
+    """Run the canonical incident scenario end to end.
+
+    Builds the standard chaos environment, runs
+    :func:`build_incident_plan` with the SLO engine and flight recorder
+    watching, snapshots the black box, and renders the postmortem.
+    Fully seed-deterministic: the same seed yields byte-identical
+    postmortem JSON.  ``dump_dir`` additionally writes every
+    flight-recorder snapshot to disk.
+    """
+    env = build_chaos_environment(seed)
+    if dump_dir is not None:
+        env.sim.telemetry.recorder.dump_dir = Path(dump_dir)
+    engine = ChaosEngine(env, build_incident_plan())
+    report = engine.run(verify_failover=verify_failover)
+    # always leave a flight-recorder dump, violations or not
+    env.sim.telemetry.recorder.snapshot("incident-campaign")
+    incident = engine.build_postmortem(
+        report, title=f"link-partition incident (seed {seed})")
+    return IncidentRun(report=report, incident=incident, engine=engine)
 
 
 def _campaign_cell(cell: Tuple[int, str, bool]) -> ChaosReport:

@@ -97,6 +97,12 @@ class InvariantMonitor:
             return
         self.violations.append(ChaosViolation(
             time=self.env.sim.now, invariant=invariant, detail=detail))
+        # an invariant firing is exactly what the black box exists for:
+        # log it and freeze the ring before later events rotate the
+        # evidence out of the buffer
+        recorder = self.env.sim.telemetry.recorder
+        recorder.record("invariant", invariant, detail=detail)
+        recorder.snapshot(f"invariant-{invariant}")
 
     # -- the watch process ---------------------------------------------------
 

@@ -11,11 +11,17 @@ Commands:
 * ``metrics``  — run a scenario and print its telemetry registry
   (Prometheus text or JSON);
 * ``trace``    — run a scenario and print the span-stage breakdown and
-  the span-derived replication-lag (RPO) report;
+  the span-derived replication-lag (RPO) report; ``--chrome out.json``
+  also exports the spans as a Chrome/Perfetto trace-event file;
 * ``chaos``    — run seeded fault-injection campaigns against a
   protected business process and verify the robustness invariants
   (exit 1 on any violation); ``--seeds N --jobs M`` shards consecutive
   seeds across worker processes with a deterministic seed-order merge;
+  failing campaigns print their auto-generated postmortem;
+* ``slo``      — run the canonical deterministic incident scenario and
+  print the SLO rule table plus every alert transition;
+* ``incident`` — run the same scenario and print its postmortem
+  (markdown, or byte-reproducible JSON with ``--json``);
 * ``perf``     — run the hot-path microbenchmark suite (``--jobs``
   shards the benchmarks), write ``BENCH_PERF.json``, and optionally
   gate against a committed baseline (exit 1 on regression, with a
@@ -91,9 +97,17 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.telemetry import replication_lag_report, stage_breakdown
+    from repro.telemetry import (chrome_trace, replication_lag_report,
+                                 stage_breakdown)
     sim = _run_scenario(args)
     tracer = sim.telemetry.tracer
+    if args.chrome is not None:
+        import json
+        document = chrome_trace(tracer)
+        with open(args.chrome, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print(f"[chrome trace: {args.chrome} "
+              f"({len(document['traceEvents'])} events)]")
     if args.json:
         print(tracer.render_json())
         return 0
@@ -124,12 +138,37 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if index:
             print()
         print(report.render())
+        if not report.passed and report.postmortem is not None:
+            print()
+            print(report.postmortem.to_markdown())
     if len(reports) > 1:
         failed = [r.seed for r in reports if not r.passed]
         print()
         print(f"campaigns: {len(reports) - len(failed)}/{len(reports)} "
               f"passed" + (f" (failed seeds: {failed})" if failed else ""))
     return 0 if all(r.passed for r in reports) else 1
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.chaos import run_incident
+    run = run_incident(seed=args.seed)
+    print(run.engine.slo.render())
+    print()
+    print(f"incident campaign seed={args.seed}: "
+          f"{'PASS' if run.report.passed else 'FAIL'} "
+          f"({run.report.orders_completed} orders completed through "
+          f"the incident)")
+    return 0 if run.report.passed else 1
+
+
+def _cmd_incident(args: argparse.Namespace) -> int:
+    from repro.chaos import run_incident
+    run = run_incident(seed=args.seed, dump_dir=args.dump_dir)
+    if args.json:
+        print(run.incident.to_json())
+    else:
+        print(run.incident.to_markdown())
+    return 0 if run.report.passed else 1
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -230,6 +269,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_scenario_args(trace)
     trace.add_argument("--json", action="store_true",
                        help="dump the raw finished spans as JSON")
+    trace.add_argument("--chrome", default=None, metavar="PATH",
+                       help="also export the spans as a Chrome/Perfetto "
+                            "trace-event JSON file")
     trace.set_defaults(func=_cmd_trace)
 
     chaos = sub.add_parser(
@@ -255,6 +297,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the final fail-and-recover "
                             "consistency verification")
     chaos.set_defaults(func=_cmd_chaos)
+
+    slo = sub.add_parser(
+        "slo", help="run the canonical incident scenario and print the "
+                    "SLO rule table and alert transitions")
+    slo.add_argument("--seed", type=int, default=7,
+                     help="master seed; the same seed replays the exact "
+                          "same incident")
+    slo.set_defaults(func=_cmd_slo)
+
+    incident = sub.add_parser(
+        "incident", help="run the canonical incident scenario and print "
+                         "its automated postmortem")
+    incident.add_argument("--seed", type=int, default=7,
+                          help="master seed; the same seed reproduces "
+                               "the postmortem byte-for-byte")
+    incident.add_argument("--json", action="store_true",
+                          help="machine-readable postmortem instead of "
+                               "markdown")
+    incident.add_argument("--dump-dir", default=None, metavar="DIR",
+                          help="also write every flight-recorder "
+                               "snapshot as a JSON file under DIR")
+    incident.set_defaults(func=_cmd_incident)
 
     perf = sub.add_parser(
         "perf", help="run the hot-path microbenchmark suite "

@@ -144,7 +144,10 @@ class FailoverManager:
         sim = self.system.sim
         report = FailoverReport(started_at=sim.now)
         tracer = sim.telemetry.tracer
+        recorder = sim.telemetry.recorder
         span = tracer.start("failover", namespace=self.business_namespace)
+        recorder.record("failover", self.business_namespace,
+                        step="start")
         secondary = self.discover_secondary_volumes()
         missing = [pvc for pvc in PVC_LAYOUT if pvc not in secondary]
         if missing:
@@ -161,10 +164,14 @@ class FailoverManager:
         for group in groups:
             drained = yield from group.drain()
             report.drained_entries += drained
+        recorder.record("failover", self.business_namespace,
+                        step="drained", entries=report.drained_entries)
 
         # 3. promote
         for svol_id in secondary.values():
             backup_array.promote_secondary(svol_id)
+        recorder.record("failover", self.business_namespace,
+                        step="promoted", volumes=len(secondary))
 
         # measurement: storage-level cut check + RPO
         if expected_history is not None and pvol_ids is not None:
@@ -258,6 +265,13 @@ class FailoverManager:
             rto_seconds=report.rto_seconds,
             rpo_seconds=report.rpo_seconds,
             lost_acked_writes=report.lost_acked_writes)
+        recorder = sim.telemetry.recorder
+        recorder.record(
+            "failover", self.business_namespace, step=outcome,
+            rto_seconds=round(report.rto_seconds, 6),
+            drained_entries=report.drained_entries)
+        # a failover is always snapshot-worthy: freeze the black box
+        recorder.snapshot(f"failover-{outcome}")
 
     def _bucket_count(self) -> int:
         """Bucket count of the business databases.

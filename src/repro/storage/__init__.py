@@ -22,14 +22,19 @@ from repro.storage.adc import AdcConfig, JournalGroup
 from repro.storage.array import ArrayConfig, AuditRecord, StorageArray
 from repro.storage.history import WriteHistory, WriteRecord
 from repro.storage.journal import JournalEntry, JournalVolume
-from repro.storage.metrics import (Counter, GaugeSeries, LatencyRecorder,
-                                   LatencySummary, percentile)
+from repro.telemetry.metrics import (Counter, Gauge, LatencyRecorder,
+                                     LatencySummary, percentile)
 from repro.storage.pool import StoragePool
 from repro.storage.replication import CopyMode, PairState, ReplicationPair
 from repro.storage.sdc import SdcConfig, SyncMirror
 from repro.storage.snapshot import Snapshot, SnapshotGroup
 from repro.storage.volume import (BlockValue, MediaProfile, SnapshotView,
                                   Volume, VolumeRole, VolumeStatus)
+
+#: historical name of the telemetry :class:`Gauge`, kept for the public
+#: storage API (the deprecated ``repro.storage.metrics`` shim aliases it
+#: the same way)
+GaugeSeries = Gauge
 
 __all__ = [
     "AdcConfig",

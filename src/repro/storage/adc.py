@@ -172,6 +172,7 @@ class JournalGroup:
         # registry renders, so legacy call sites keep working
         registry = sim.telemetry.registry
         self.tracer = sim.telemetry.tracer
+        self.recorder = sim.telemetry.recorder
         self.lag_entries = registry.gauge(
             "repro_journal_lag_entries",
             help="Journal entry lag sampled by the transfer loop",
@@ -239,6 +240,7 @@ class JournalGroup:
         self.pairs[pair.pair_id] = pair
         self._pairs_by_pvol[pair.pvol.volume_id] = pair
         self._svol_by_pvol[pair.pvol.volume_id] = pair.svol
+        pair.observer = self._observe_pair
         watermark = -1
         blocks = sorted(pair.pvol.block_map().items())
         # pre-existing blocks ride the journal under an initial-copy
@@ -388,12 +390,20 @@ class JournalGroup:
 
     # -- suspension / resync -------------------------------------------------
 
+    def _observe_pair(self, pair: ReplicationPair, event: str) -> None:
+        """Pair lifecycle hook: feed transitions to the flight recorder."""
+        self.recorder.record(
+            "pair", pair.pair_id, group=self.group_id, event=event,
+            state=pair.state.value, reason=pair.suspend_reason)
+
     def _suspend(self, state: PairState, reason: str) -> None:
         if self.suspended:
             return
         self.suspended = True
         self.suspend_reason = reason
         self.suspensions.increment()
+        self.recorder.record("suspension", self.group_id,
+                             state=state.value, reason=reason)
         for pair in self.pairs.values():
             pair.suspend(state, reason)
 
@@ -424,6 +434,10 @@ class JournalGroup:
         counter = self.corruptions_wire if where == "wire" \
             else self.corruptions_journal
         counter.increment()
+        self.recorder.record(
+            "quarantine", self.group_id, where=where,
+            sequence=entry.sequence, volume=entry.volume_id,
+            block=entry.block)
         pair = self._pairs_by_pvol.get(entry.volume_id)
         if pair is not None:
             pair.mark_dirty(entry.volume_id, entry.block)
@@ -481,6 +495,7 @@ class JournalGroup:
         self.suspended = False
         self.suspend_reason = ""
         resync_span = self.tracer.start("resync", group=self.group_id)
+        self.recorder.record("resync", self.group_id, event="started")
         rejournaled = 0
         try:
             for pair in self.pairs.values():
@@ -506,14 +521,22 @@ class JournalGroup:
                             pair.mark_dirty(*remaining)
                         self.tracer.finish(resync_span, status="suspended",
                                            rejournaled=rejournaled)
+                        self.recorder.record(
+                            "resync", self.group_id, event="completed",
+                            status="suspended", rejournaled=rejournaled)
                         return
                     rejournaled += 1
                 pair.clear_suspension()
         except BaseException:
             self.tracer.finish(resync_span, status="error",
                                rejournaled=rejournaled)
+            self.recorder.record("resync", self.group_id,
+                                 event="completed", status="error",
+                                 rejournaled=rejournaled)
             raise
         self.tracer.finish(resync_span, rejournaled=rejournaled)
+        self.recorder.record("resync", self.group_id, event="completed",
+                             status="ok", rejournaled=rejournaled)
 
     # -- background pipeline ------------------------------------------------
 

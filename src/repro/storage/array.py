@@ -794,6 +794,8 @@ class StorageArray:
         journal survives, data still in the main journal is lost).
         """
         self.failed = True
+        self.sim.telemetry.recorder.record("array", self.serial,
+                                           event="fail")
         local_journals = set(self._journals.values())
         for group in self.journal_groups.values():
             if group.main_journal in local_journals:
@@ -808,6 +810,8 @@ class StorageArray:
         explicitly in the reverse direction first.
         """
         self.failed = False
+        self.sim.telemetry.recorder.record("array", self.serial,
+                                           event="repair")
         self._audit("repair")
 
     def format_volume(self, volume_id: int) -> None:
@@ -834,6 +838,9 @@ class StorageArray:
             raise ReplicationError(
                 f"volume {volume_id} is {volume.role.value}, not an S-VOL")
         volume.set_role(VolumeRole.SSWS)
+        self.sim.telemetry.recorder.record(
+            "array", self.serial, event="promote-secondary",
+            volume=volume_id)
         group = self._restore_group_by_svol.get(volume_id)
         if group is not None:
             for pair in group.pairs.values():

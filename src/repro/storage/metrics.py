@@ -15,13 +15,26 @@ Note one intentional behaviour change carried over from telemetry:
 ``GaugeSeries.sample()`` now rejects samples whose time runs backwards
 (it used to accept them silently), so a mis-wired probe cannot corrupt
 a lag series.
+
+.. deprecated::
+   Import from :mod:`repro.telemetry` (or
+   :mod:`repro.telemetry.metrics`) instead; this shim emits a
+   ``DeprecationWarning`` on import and will be removed once external
+   callers have migrated.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.telemetry.metrics import (Counter, Gauge, LatencyRecorder,
                                      LatencySummary, percentile,
                                      percentile_sorted)
+
+warnings.warn(
+    "repro.storage.metrics is deprecated; import the measurement "
+    "primitives from repro.telemetry instead",
+    DeprecationWarning, stacklevel=2)
 
 #: historical name of the telemetry :class:`Gauge`
 GaugeSeries = Gauge

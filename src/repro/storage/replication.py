@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Set, Tuple
 
 from repro.errors import ReplicationError
 
@@ -75,6 +75,11 @@ class ReplicationPair:
     promoted: bool = False
     #: set by the engine as restore progresses (async pairs)
     initial_copy_done: bool = False
+    #: lifecycle hook ``(pair, event)`` called on suspend / resume /
+    #: promote; the owning engine installs one to feed the flight
+    #: recorder (pairs themselves have no telemetry access)
+    observer: Optional[Callable[["ReplicationPair", str], None]] = \
+        field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.pvol.volume_id == self.svol.volume_id and \
@@ -105,11 +110,13 @@ class ReplicationPair:
                 f"suspend target must be PSUS or PSUE, got {state}")
         self.suspended_state = state
         self.suspend_reason = reason
+        self._notify("suspend")
 
     def clear_suspension(self) -> None:
         """Return to COPY/PAIR after a successful resync."""
         self.suspended_state = None
         self.suspend_reason = ""
+        self._notify("resume")
 
     def mark_dirty(self, volume_id: int, block: int) -> None:
         """Remember an unprotected write for later resynchronisation."""
@@ -123,6 +130,11 @@ class ReplicationPair:
     def promote(self) -> None:
         """Failover: make the S-VOL writable (SSWS)."""
         self.promoted = True
+        self._notify("promote")
+
+    def _notify(self, event: str) -> None:
+        if self.observer is not None:
+            self.observer(self, event)
 
     def __repr__(self) -> str:
         return (f"<ReplicationPair {self.pair_id!r} {self.mode.value} "

@@ -64,6 +64,7 @@ class SyncMirror:
         self._pair_locks: Dict[str, Lock] = {}
         registry = sim.telemetry.registry
         self.tracer = sim.telemetry.tracer
+        self.recorder = sim.telemetry.recorder
         self.replicated_writes = registry.counter(
             "repro_sdc_replicated_writes_total",
             help="Writes propagated synchronously before the ack",
@@ -86,8 +87,15 @@ class SyncMirror:
                 "already paired")
         self.pairs[pair.pair_id] = pair
         self._pairs_by_pvol[pair.pvol.volume_id] = pair
+        pair.observer = self._observe_pair
         self._pair_locks[pair.pair_id] = Lock(
             self.sim, name=f"sdc-{pair.pair_id}")
+
+    def _observe_pair(self, pair: ReplicationPair, event: str) -> None:
+        """Pair lifecycle hook: feed transitions to the flight recorder."""
+        self.recorder.record(
+            "pair", pair.pair_id, mirror=self.mirror_id, event=event,
+            state=pair.state.value, reason=pair.suspend_reason)
 
     def remove_pair(self, pair_id: str) -> ReplicationPair:
         """Detach a pair; returns it."""

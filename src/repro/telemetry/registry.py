@@ -249,9 +249,17 @@ def _prom_lines(name: str, labels: Dict[str, str],
     if isinstance(instrument, Counter):
         return [f"{name}{_format_labels(labels)} {instrument.value}"]
     if isinstance(instrument, Gauge):
-        if not instrument.points:
-            return []
-        return [f"{name}{_format_labels(labels)} {instrument.value:g}"]
+        lines = []
+        if instrument.points:
+            lines.append(
+                f"{name}{_format_labels(labels)} {instrument.value:g}")
+        if instrument.out_of_order:
+            # dropped samples stay visible in the exposition text, not
+            # only in the JSON state (strict_time=False gauges)
+            lines.append(f"{name}_out_of_order_total"
+                         f"{_format_labels(labels)} "
+                         f"{instrument.out_of_order}")
+        return lines
     if isinstance(instrument, (Histogram, LatencyRecorder)):
         if not len(instrument):
             return [f"{name}_count{_format_labels(labels)} 0"]

@@ -32,7 +32,7 @@ from __future__ import annotations
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass
@@ -240,18 +240,62 @@ class StageStats:
 
 
 def stage_breakdown(tracer: Tracer) -> List[StageStats]:
-    """Per-span-name duration statistics over finished spans."""
-    grouped: Dict[str, List[float]] = {}
+    """Per-span-name duration statistics over finished spans.
+
+    Batch spans carrying a ``writes`` attribute (``host-write-batch``,
+    batched ``journal-append``) weigh in as that many units: ``count``
+    then lines up with ``repro_host_writes_total`` rather than with the
+    number of batches, and ``mean`` is the write-weighted mean (the
+    latency an average *write* experienced).  ``maximum`` stays the
+    longest single span either way.
+    """
+    grouped: Dict[str, List[Tuple[float, int]]] = {}
     for span in tracer.spans:
         if span.finished:
-            grouped.setdefault(span.name, []).append(span.duration)
+            writes = span.attrs.get("writes")
+            weight = writes if isinstance(writes, int) and writes > 0 \
+                else 1
+            grouped.setdefault(span.name, []).append(
+                (span.duration, weight))
     out = []
     for name in sorted(grouped):
-        durations = grouped[name]
-        out.append(StageStats(name=name, count=len(durations),
-                              mean=sum(durations) / len(durations),
-                              maximum=max(durations)))
+        entries = grouped[name]
+        count = sum(weight for _duration, weight in entries)
+        weighted = sum(duration * weight
+                       for duration, weight in entries)
+        out.append(StageStats(
+            name=name, count=count, mean=weighted / count,
+            maximum=max(duration for duration, _weight in entries)))
     return out
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """Finished spans in Chrome/Perfetto trace-event format.
+
+    Load the result (JSON-serialised) in ``chrome://tracing`` or
+    https://ui.perfetto.dev.  Each trace renders as one "thread" (tid =
+    trace id) of complete ``ph: "X"`` events; timestamps convert from
+    simulated seconds to microseconds, the format's native unit.
+    """
+    events = []
+    for span in tracer.spans:
+        if not span.finished:
+            continue
+        args = {str(key): value for key, value in sorted(span.attrs.items())}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "name": span.name,
+            "cat": span.status,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": 1,
+            "tid": span.trace_id,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,178 @@
+"""Postmortem generator tests.
+
+The unit half drives :func:`build_incident` against a manually-clocked
+telemetry bundle; the acceptance half runs the canonical chaos incident
+(``repro incident``) and asserts the causal chain the observability
+layer exists to demonstrate: fault → alert fired → suspension →
+resync → alert resolved.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import (AlertTransition, Telemetry, build_incident)
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+        self.telemetry = Telemetry(lambda: self.now)
+
+
+class TestBuildIncident:
+    def _populated_sim(self):
+        sim = FakeSim()
+        recorder = sim.telemetry.recorder
+        tracer = sim.telemetry.tracer
+        sim.now = 0.1
+        recorder.record("fault", "link-partition", action="inject")
+        span = tracer.start("resync")
+        sim.now = 0.3
+        tracer.finish(span, status="ok")
+        recorder.record("resync", "cg", event="completed")
+        sim.telemetry.registry.counter(
+            "repro_chaos_faults_total", fault="link-partition").increment()
+        sim.telemetry.registry.counter(
+            "repro_host_writes_total").increment(99)  # filtered out
+        sim.now = 0.5
+        return sim
+
+    def test_joins_the_three_streams(self):
+        sim = self._populated_sim()
+        report = build_incident(
+            sim, title="t", seed=3,
+            alerts=[AlertTransition(0.2, "rpo", "firing", "d")])
+        assert [e["name"] for e in report.timeline] == \
+            ["link-partition", "cg"]
+        assert report.alerts == [{"time": 0.2, "rule": "rpo",
+                                  "state": "firing", "detail": "d"}]
+        assert [s["name"] for s in report.stages] == ["resync"]
+        assert report.stages[0]["count"] == 1
+        assert report.stages[0]["mean"] == pytest.approx(0.2)
+        assert report.metrics == {
+            'repro_chaos_faults_total{fault="link-partition"}': 1,
+            'repro_flight_events_total{category="fault"}': 1,
+            'repro_flight_events_total{category="resync"}': 1,
+        }
+        assert (report.started_at, report.finished_at) == (0.1, 0.5)
+
+    def test_window_bounds_the_timeline(self):
+        sim = self._populated_sim()
+        report = build_incident(sim, window=(0.2, 0.4))
+        assert [e["name"] for e in report.timeline] == ["cg"]
+        assert report.started_at == 0.2
+
+    def test_timeline_sorted_by_time_then_seq(self):
+        sim = FakeSim()
+        recorder = sim.telemetry.recorder
+        sim.now = 0.2
+        recorder.record("b", "second")
+        recorder.record("b", "third")  # same instant: seq breaks the tie
+        sim.now = 0.1
+        recorder.record("a", "first")  # recorded later, happened earlier
+        sim.now = 0.3
+        report = build_incident(sim)
+        assert [e["name"] for e in report.timeline] == \
+            ["first", "second", "third"]
+
+    def test_dropped_events_are_noted(self):
+        from repro.telemetry import FlightRecorder
+        sim = FakeSim()
+        sim.telemetry.recorder = FlightRecorder(lambda: sim.now,
+                                                capacity=2)
+        for index in range(5):
+            sim.telemetry.recorder.record("tick", f"e{index}")
+        report = build_incident(sim)
+        assert any("dropped 3 oldest events" in note
+                   for note in report.notes)
+
+    def test_json_round_trips_and_is_deterministic(self):
+        reports = [build_incident(self._populated_sim(), title="t",
+                                  seed=3) for _ in range(2)]
+        assert reports[0].to_json() == reports[1].to_json()
+        assert json.loads(reports[0].to_json()) == reports[0].to_dict()
+
+    def test_markdown_sections(self):
+        sim = self._populated_sim()
+        text = build_incident(
+            sim, title="demo", seed=3,
+            alerts=[AlertTransition(0.2, "rpo", "firing", "d")],
+            notes=["extra note"]).to_markdown()
+        for heading in ("# Incident postmortem: demo", "## Timeline",
+                        "## Alerts", "## Stage latencies (spans)",
+                        "## Metrics at close"):
+            assert heading in text
+        assert "- seed: 3" in text
+        assert "- extra note" in text
+        assert "**fault** link-partition — action=inject" in text
+        assert "| resync | 1 |" in text
+
+    def test_empty_simulation_renders_placeholders(self):
+        text = build_incident(FakeSim()).to_markdown()
+        assert "(no events recorded)" in text
+        assert "(no alert transitions)" in text
+        assert "(no finished spans)" in text
+        assert "(no matching counters)" in text
+
+
+class TestCanonicalIncident:
+    """The ISSUE acceptance scenario, end to end."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.chaos import run_incident
+        return run_incident(seed=7)
+
+    def test_campaign_passes_with_alerts(self, run):
+        assert run.report.passed
+        assert run.report.violations == []
+        rpo = [t for t in run.report.alerts
+               if t.rule == "rpo-journal-lag"]
+        assert [t.state for t in rpo] == ["firing", "resolved"]
+        suspended = [t for t in run.report.alerts
+                     if t.rule == "replication-suspended"]
+        assert [t.state for t in suspended] == ["firing", "resolved"]
+
+    def test_causal_ordering(self, run):
+        """fault → alert fired → suspension → resync → alert resolved."""
+        def first_time(predicate):
+            for event in run.incident.timeline:
+                if predicate(event):
+                    return event["time"]
+            raise AssertionError("event not found in timeline")
+
+        fault = first_time(lambda e: e["category"] == "fault"
+                           and e["attrs"].get("action") == "inject")
+        fired = first_time(lambda e: e["category"] == "alert"
+                           and e["name"] == "rpo-journal-lag"
+                           and e["attrs"].get("state") == "firing")
+        suspended = first_time(lambda e: e["category"] == "suspension")
+        resync = first_time(lambda e: e["category"] == "resync"
+                            and e["attrs"].get("event") == "started")
+        resolved = first_time(lambda e: e["category"] == "alert"
+                              and e["name"] == "rpo-journal-lag"
+                              and e["attrs"].get("state") == "resolved")
+        assert fault < fired < suspended < resync < resolved
+
+    def test_postmortem_quotes_alert_counters(self, run):
+        metrics = run.incident.metrics
+        assert metrics[
+            'repro_alerts_total{rule="rpo-journal-lag",'
+            'state="firing"}'] == 1
+        assert metrics[
+            'repro_alerts_total{rule="rpo-journal-lag",'
+            'state="resolved"}'] == 1
+
+    def test_engine_slo_state_is_quiescent_at_close(self, run):
+        assert run.engine.slo is not None
+        assert run.engine.slo.firing_rules() == []
+
+    def test_recorder_snapshot_taken(self, run):
+        snapshots = run.engine.env.sim.telemetry.recorder.snapshots
+        assert any(s["reason"] == "incident-campaign" for s in snapshots)
+
+    def test_same_seed_reproduces_postmortem_bytes(self, run):
+        from repro.chaos import run_incident
+        again = run_incident(seed=7)
+        assert again.incident.to_json() == run.incident.to_json()

@@ -156,9 +156,31 @@ class TestHistogram:
 
 class TestStorageShim:
     def test_legacy_imports_are_the_telemetry_types(self):
-        from repro.storage.metrics import (Counter as LegacyCounter,
-                                           GaugeSeries, LatencyRecorder
-                                           as LegacyRecorder)
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.storage.metrics import (Counter as LegacyCounter,
+                                               GaugeSeries, LatencyRecorder
+                                               as LegacyRecorder)
         assert LegacyCounter is Counter
         assert GaugeSeries is Gauge
         assert LegacyRecorder is LatencyRecorder
+
+    def test_shim_warns_on_import(self):
+        import importlib
+        import sys
+        sys.modules.pop("repro.storage.metrics", None)
+        with pytest.warns(DeprecationWarning,
+                          match="repro.storage.metrics is deprecated"):
+            importlib.import_module("repro.storage.metrics")
+
+    def test_package_import_does_not_warn(self):
+        """Importing repro.storage itself must stay warning-free — the
+        package no longer routes through the deprecated shim."""
+        import subprocess
+        import sys
+        code = ("import warnings; warnings.simplefilter('error', "
+                "DeprecationWarning); import repro.storage")
+        result = subprocess.run([sys.executable, "-c", code],
+                                capture_output=True, text=True)
+        assert result.returncode == 0, result.stderr

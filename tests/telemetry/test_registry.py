@@ -100,6 +100,47 @@ class TestRendering:
         assert snapshot["idle"]["series"][0]["value"] is None
 
 
+class TestLenientGaugeSurfacing:
+    """``strict_time=False`` gauges drop late samples silently at the
+    call site; both renderings must keep the drop count visible."""
+
+    def _lenient(self, registry):
+        gauge = registry.gauge("repro_lag", strict_time=False, group="cg")
+        gauge.sample(1.0, 10.0)
+        gauge.sample(0.5, 99.0)  # time went backwards: dropped
+        gauge.sample(0.2, 77.0)  # and again
+        return gauge
+
+    def test_drops_counted_not_recorded(self, registry):
+        gauge = self._lenient(registry)
+        assert gauge.out_of_order == 2
+        assert len(gauge) == 1
+        assert gauge.value == 10.0
+
+    def test_prom_exposition_carries_out_of_order_series(self, registry):
+        self._lenient(registry)
+        text = registry.render()
+        assert 'repro_lag{group="cg"} 10' in text
+        assert 'repro_lag_out_of_order_total{group="cg"} 2' in text
+
+    def test_strict_gauge_renders_no_out_of_order_series(self, registry):
+        registry.gauge("repro_ok", group="cg").sample(1.0, 5.0)
+        assert "out_of_order" not in registry.render()
+
+    def test_json_snapshot_carries_out_of_order_count(self, registry):
+        self._lenient(registry)
+        snapshot = json.loads(registry.render(format="json"))
+        series = snapshot["repro_lag"]["series"][0]
+        assert series["out_of_order"] == 2
+        assert series["samples"] == 1
+        assert series["value"] == 10.0
+
+    def test_empty_lenient_gauge_snapshot_shows_zero(self, registry):
+        registry.gauge("repro_idle", strict_time=False, group="g")
+        snapshot = registry.snapshot()
+        assert snapshot["repro_idle"]["series"][0]["out_of_order"] == 0
+
+
 class TestSimulatorWiring:
     def test_simulator_exposes_telemetry(self):
         from repro.simulation import Simulator

@@ -10,7 +10,7 @@ the consistency group's apply order can be read off the spans alone.
 import pytest
 
 from repro.simulation import Simulator
-from repro.telemetry import (Tracer, replication_lag_report,
+from repro.telemetry import (Tracer, chrome_trace, replication_lag_report,
                              stage_breakdown)
 from tests.storage.conftest import build_two_site, fast_adc, run
 
@@ -63,6 +63,87 @@ class TestTracerUnit:
         second = tracer.start("b")
         assert (first.trace_id, first.span_id) == ("t0001", "s000001")
         assert (second.trace_id, second.span_id) == ("t0002", "s000002")
+
+
+class TestStageBreakdownWeighting:
+    """Batch spans carrying a ``writes`` attribute weigh in as that
+    many units, so breakdown counts line up with write counters."""
+
+    def _tracer(self):
+        clock = {"now": 0.0}
+        return clock, Tracer(clock=lambda: clock["now"])
+
+    def _finish_at(self, clock, tracer, span, end):
+        clock["now"] = end
+        tracer.finish(span)
+
+    def test_writes_attr_weights_count_and_mean(self):
+        clock, tracer = self._tracer()
+        # a 10-write batch taking 10ms and a 1-write batch taking 1ms
+        big = tracer.start("host-write-batch", writes=10)
+        self._finish_at(clock, tracer, big, 0.010)
+        clock["now"] = 0.010
+        small = tracer.start("host-write-batch", writes=1)
+        self._finish_at(clock, tracer, small, 0.011)
+        stats = {s.name: s for s in stage_breakdown(tracer)}
+        batch = stats["host-write-batch"]
+        assert batch.count == 11  # writes, not batches
+        # the mean a *write* experienced: (10*10ms + 1*1ms) / 11
+        assert batch.mean == pytest.approx(0.101 / 11)
+        assert batch.maximum == pytest.approx(0.010)
+
+    def test_spans_without_writes_attr_count_once(self):
+        clock, tracer = self._tracer()
+        span = tracer.start("transfer-batch", entries=50)
+        self._finish_at(clock, tracer, span, 0.002)
+        stats = {s.name: s for s in stage_breakdown(tracer)}
+        assert stats["transfer-batch"].count == 1
+
+    def test_non_positive_or_non_int_writes_ignored(self):
+        clock, tracer = self._tracer()
+        for bogus in (0, -3, "many", 2.5):
+            span = tracer.start("host-write-batch", writes=bogus)
+            self._finish_at(clock, tracer, span, clock["now"] + 0.001)
+        assert {s.name: s for s in stage_breakdown(tracer)}[
+            "host-write-batch"].count == 4
+
+
+class TestChromeTrace:
+    def _tracer(self):
+        clock = {"now": 0.0}
+        return clock, Tracer(clock=lambda: clock["now"])
+
+    def test_exports_complete_events_in_microseconds(self):
+        clock, tracer = self._tracer()
+        root = tracer.start("host-write", volume=3)
+        clock["now"] = 0.002
+        child = tracer.start("restore-apply", parent=root)
+        clock["now"] = 0.005
+        tracer.finish(child, status="ok")
+        tracer.finish(root)
+        unfinished = tracer.start("dangling")
+        document = chrome_trace(tracer)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert len(events) == 2  # the unfinished span is excluded
+        assert unfinished.name not in [e["name"] for e in events]
+        by_name = {event["name"]: event for event in events}
+        write = by_name["host-write"]
+        assert write["ph"] == "X"
+        assert write["ts"] == pytest.approx(0.0)
+        assert write["dur"] == pytest.approx(5000.0)
+        assert write["tid"] == root.trace_id
+        assert write["args"]["volume"] == 3
+        apply_event = by_name["restore-apply"]
+        assert apply_event["ts"] == pytest.approx(2000.0)
+        assert apply_event["args"]["parent_id"] == root.span_id
+
+    def test_document_is_json_serialisable(self):
+        import json
+        clock, tracer = self._tracer()
+        tracer.finish(tracer.start("op", flag=True))
+        encoded = json.dumps(chrome_trace(tracer), sort_keys=True)
+        assert json.loads(encoded)["traceEvents"][0]["name"] == "op"
 
 
 def _build_cg(sim, volumes=2, blocks=64):

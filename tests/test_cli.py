@@ -32,6 +32,18 @@ class TestParser:
             ["trace", "--scenario", "demo", "--json"])
         assert args.json
         assert args.seed == 2025
+        assert args.chrome is None
+
+    def test_slo_defaults(self):
+        args = build_parser().parse_args(["slo"])
+        assert args.seed == 7
+
+    def test_incident_arguments(self):
+        args = build_parser().parse_args(
+            ["incident", "--seed", "9", "--json"])
+        assert args.seed == 9
+        assert args.json
+        assert args.dump_dir is None
 
     def test_chaos_defaults(self):
         args = build_parser().parse_args(["chaos"])
@@ -135,3 +147,44 @@ class TestCommands:
     def test_chaos_rejects_nonpositive_seeds(self):
         with pytest.raises(SystemExit):
             main(["chaos", "--seeds", "0"])
+
+    def test_trace_chrome_export(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--scenario", "demo",
+                     "--chrome", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert f"[chrome trace: {path}" in output
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert events
+        names = {event["name"] for event in events}
+        assert "host-write" in names or "host-write-batch" in names
+        assert all(event["ph"] == "X" for event in events[:50])
+
+    def test_slo_command_prints_rule_table(self, capsys):
+        assert main(["slo", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "SLO rules" in output
+        assert "rpo-journal-lag" in output
+        assert "firing" in output and "resolved" in output
+        assert "incident campaign seed=7: PASS" in output
+
+    def test_incident_command_prints_postmortem(self, capsys):
+        assert main(["incident", "--seed", "7"]) == 0
+        output = capsys.readouterr().out
+        assert "# Incident postmortem:" in output
+        assert "## Timeline" in output
+        assert "**fault** link-partition" in output
+
+    def test_incident_json_and_dump_dir(self, capsys, tmp_path):
+        import json
+        dump = tmp_path / "flights"
+        assert main(["incident", "--seed", "7", "--json",
+                     "--dump-dir", str(dump)]) == 0
+        postmortem = json.loads(capsys.readouterr().out)
+        assert postmortem["seed"] == 7
+        assert postmortem["timeline"]
+        dumped = list(dump.glob("flight-*.json"))
+        assert dumped, "no flight-recorder snapshots were dumped"
