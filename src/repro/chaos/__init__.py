@@ -12,9 +12,13 @@ Public surface:
   custom harnesses and tests;
 * :class:`FaultPlan`, :func:`build_plan`, :data:`PRESETS` — fault
   schedules (hand-written or seed-generated);
-* the fault catalog (:class:`LinkPartition`, :class:`LinkBrownout`,
-  :class:`ArrayCrash`, :class:`JournalSqueeze`, :class:`SlowDisk`,
-  :class:`WireCorruption`, :class:`JournalCorruption`);
+* the data-plane fault catalog (:class:`LinkPartition`,
+  :class:`LinkBrownout`, :class:`ArrayCrash`, :class:`JournalSqueeze`,
+  :class:`SlowDisk`, :class:`WireCorruption`,
+  :class:`JournalCorruption`);
+* the control-plane fault catalog (:class:`ApiServerOutage`,
+  :class:`ApiFlake`, :class:`ControllerCrash`, :class:`CsiRpcFlake`,
+  :class:`WatchDrop`) behind the ``control`` preset;
 * :class:`InvariantMonitor`, :class:`MonitorConfig`,
   :class:`ChaosViolation` — the always-on invariant checks;
 * :func:`run_incident`, :func:`build_incident_plan`,
@@ -23,6 +27,8 @@ Public surface:
   suspension → resync → alert resolved, with a rendered postmortem.
 """
 
+from repro.chaos.control import (ApiFlake, ApiServerOutage,
+                                 ControllerCrash, CsiRpcFlake, WatchDrop)
 from repro.chaos.engine import (ChaosEngine, ChaosEnvironment, ChaosReport,
                                 ChaosWorkload, IncidentRun,
                                 build_chaos_environment,
@@ -34,12 +40,17 @@ from repro.chaos.faults import (ArrayCrash, Fault, FaultEvent,
                                 WireCorruption)
 from repro.chaos.invariants import (ChaosViolation, InvariantMonitor,
                                     MonitorConfig)
-from repro.chaos.plan import (PRESETS, QUICK, SOAK, CampaignPreset,
-                              FaultPlan, build_plan)
+from repro.chaos.plan import (CONTROL, PRESETS, QUICK, SOAK,
+                              CampaignPreset, FaultPlan, build_plan)
 
 __all__ = [
+    "ApiFlake",
+    "ApiServerOutage",
     "ArrayCrash",
+    "CONTROL",
     "CampaignPreset",
+    "ControllerCrash",
+    "CsiRpcFlake",
     "ChaosEngine",
     "ChaosEnvironment",
     "ChaosReport",
@@ -59,6 +70,7 @@ __all__ = [
     "QUICK",
     "SOAK",
     "SlowDisk",
+    "WatchDrop",
     "WireCorruption",
     "build_chaos_environment",
     "build_incident_plan",

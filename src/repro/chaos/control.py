@@ -1,0 +1,192 @@
+"""Control-plane chaos faults: API server, controllers, CSI RPCs.
+
+The data-plane catalog (:mod:`repro.chaos.faults`) breaks links,
+arrays and journals; this module breaks the *orchestration* layer the
+paper's no-storage-expertise workflow depends on.  The design claim
+under test is different: the business and the replication pipeline run
+entirely on the arrays, so killing the control plane must never stall
+an order or lose a byte — it may only delay reconciliation, and once
+the control plane heals every custom resource must converge back to
+``Paired`` with exactly one pair per volume (the reconcile-convergence
+and exactly-once-pairing invariants).
+
+* :class:`ApiServerOutage` — every API call fails with
+  :class:`~repro.errors.UnavailableError` for a window (fail-closed:
+  the server rejects before touching state);
+* :class:`ApiFlake` — seed-deterministic injected flakes and write
+  conflicts on a fraction of calls;
+* :class:`ControllerCrash` — every controller worker dies mid-
+  reconcile; heal restarts them and the list+watch replay requeues all
+  keys (level-triggered recovery);
+* :class:`CsiRpcFlake` — CSI management RPCs time out *after* the
+  array may have executed them (ambiguous outcome); only probe-based
+  idempotent retries survive without orphaned volumes;
+* :class:`WatchDrop` — all watch streams are severed at once, forcing
+  every controller through its list-resync path.
+
+All faults are ``local = False``: a control-plane fault that slows the
+business would itself be the bug the invariants exist to catch.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.chaos.faults import Fault
+from repro.platform.apiserver import ApiFaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.engine import ChaosEnvironment
+
+
+def api_injector(env: "ChaosEnvironment") -> ApiFaultInjector:
+    """The main cluster's API fault injector, installed on first use."""
+    api = env.system.main.cluster.api
+    if api.chaos is None:
+        api.chaos = ApiFaultInjector(env.sim)
+    return api.chaos
+
+
+class ApiServerOutage(Fault):
+    """Hard API-server outage: every call raises ``UnavailableError``.
+
+    Fail-closed by construction — the injector rejects requests at the
+    admission point, before any state is touched — so there is never an
+    ambiguous half-applied write to reason about.  Controllers back off
+    and retry; watches stay severed from new events only in the sense
+    that nobody can mutate state through a down server.
+    """
+
+    kind = "api-outage"
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        api_injector(env).outage = True
+        return "api server rejecting every call (503)"
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        api_injector(env).outage = False
+        return "api server serving again"
+
+
+class ApiFlake(Fault):
+    """Probabilistic API failures: transient 503s plus write conflicts.
+
+    Models a flaky server *and* stale-cache optimistic-concurrency
+    races: each call independently flakes with ``flake_probability``;
+    each mutating call additionally conflicts with
+    ``conflict_probability``.  All draws come from the injector's named
+    RNG stream, so a seed fully determines which calls fail.
+    """
+
+    kind = "api-flake"
+
+    def __init__(self, at: float, duration: float,
+                 flake_probability: float = 0.25,
+                 conflict_probability: float = 0.15) -> None:
+        super().__init__(at, duration)
+        for name, value in (("flake_probability", flake_probability),
+                            ("conflict_probability", conflict_probability)):
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1]: {value}")
+        self.flake_probability = flake_probability
+        self.conflict_probability = conflict_probability
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        injector = api_injector(env)
+        injector.flake_probability = self.flake_probability
+        injector.conflict_probability = self.conflict_probability
+        return (f"{self.flake_probability:.0%} flakes, "
+                f"{self.conflict_probability:.0%} write conflicts")
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        injector = api_injector(env)
+        injector.flake_probability = 0.0
+        injector.conflict_probability = 0.0
+        return f"api stable again ({injector.injected} faults injected)"
+
+
+class ControllerCrash(Fault):
+    """Every controller on the main cluster dies mid-reconcile.
+
+    The crash interrupts the in-flight reconcile at its current wait
+    point and kills the watch pumps and worker; pending queue items are
+    lost with the process, exactly like an OOM-killed manager pod.
+    Healing restarts the controllers: the fresh list+watch replays an
+    ADDED event for every live object, which requeues every key — the
+    level-triggered recovery that makes losing the queue safe.
+    """
+
+    kind = "controller-crash"
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        manager = env.system.main.cluster.manager
+        manager.crash_all("chaos-controller-crash")
+        return f"{len(manager.controllers)} controllers killed"
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        manager = env.system.main.cluster.manager
+        manager.restart_all()
+        return (f"{len(manager.controllers)} controllers restarted, "
+                "all keys requeued via list+watch")
+
+
+class CsiRpcFlake(Fault):
+    """CSI management RPCs time out with ambiguous outcomes.
+
+    With probability ``timeout_probability`` an RPC raises
+    :class:`~repro.errors.RpcTimeoutError` — and with probability
+    ``effect_probability`` the array *had already executed* the command
+    when the deadline passed.  Blind retries of non-idempotent commands
+    (volume create, pair create) would leak orphans; the replication
+    plugin's probe-before-retry discipline is what the exactly-once-
+    pairing invariant verifies here.
+    """
+
+    kind = "csi-rpc-flake"
+
+    def __init__(self, at: float, duration: float,
+                 timeout_probability: float = 0.35,
+                 effect_probability: float = 0.6) -> None:
+        super().__init__(at, duration)
+        for name, value in (("timeout_probability", timeout_probability),
+                            ("effect_probability", effect_probability)):
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1]: {value}")
+        self.timeout_probability = timeout_probability
+        self.effect_probability = effect_probability
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        injector = env.system.replication_context.rpc.injector
+        injector.timeout_probability = self.timeout_probability
+        injector.effect_probability = self.effect_probability
+        return (f"{self.timeout_probability:.0%} RPC timeouts, "
+                f"{self.effect_probability:.0%} applied before deadline")
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        injector = env.system.replication_context.rpc.injector
+        injected = injector.injected
+        injector.clear()
+        return f"csi rpc channel stable ({injected} timeouts injected)"
+
+
+class WatchDrop(Fault):
+    """Sever every watch stream at once (instantaneous fault).
+
+    Each controller pump observes the close sentinel — after draining
+    any events already queued, so nothing is lost — and re-opens its
+    watch, whose list replay resynchronises the full state.  The
+    ``repro_watch_resyncs_total`` metric counts the recoveries.
+    """
+
+    kind = "watch-drop"
+
+    def __init__(self, at: float, duration: float = 0.0) -> None:
+        # severing a stream is a point event; the outage *is* the heal
+        super().__init__(at, 0.0)
+
+    def inject(self, env: "ChaosEnvironment") -> str:
+        dropped = env.system.main.cluster.api.drop_watches()
+        return f"{dropped} watch streams severed"
+
+    def heal(self, env: "ChaosEnvironment") -> str:
+        return "controllers resyncing via list+watch"

@@ -474,17 +474,41 @@ class ChaosEngine:
         sim = env.sim
         deadline = sim.now + self.plan.converge_timeout
         while sim.now < deadline:
-            dirty = sum(len(pair.dirty_blocks)
-                        for pair in env.group.pairs.values())
-            if not env.group.suspended and dirty == 0 \
-                    and env.group.entry_lag == 0:
+            if self._converged():
                 return True
             env.group.ensure_repair()
             sim.run(until=min(deadline, sim.now + 0.02))
+        return self._converged()
+
+    def _converged(self) -> bool:
+        """Data plane drained *and* the control plane caught up."""
+        env = self.env
         dirty = sum(len(pair.dirty_blocks)
                     for pair in env.group.pairs.values())
-        return (not env.group.suspended and dirty == 0
-                and env.group.entry_lag == 0)
+        if env.group.suspended or dirty > 0 or env.group.entry_lag > 0:
+            return False
+        return self._control_plane_ready()
+
+    def _control_plane_ready(self) -> bool:
+        """True once the namespace's replication CR is ``Paired`` again.
+
+        Control-plane faults (outages, crashes, dropped watches) leave
+        the data plane replicating but the CR status stale; convergence
+        includes the reconcilers catching back up — the reconcile-
+        convergence invariant the monitor then re-asserts.
+        """
+        from repro.csi.crds import (STATE_PAIRED,
+                                    ConsistencyGroupReplication)
+        from repro.errors import ApiError
+        env = self.env
+        namespace = env.business.namespace
+        try:
+            cr = env.system.main.cluster.api.try_get(
+                ConsistencyGroupReplication, f"nso-{namespace}",
+                namespace)
+        except ApiError:
+            return False
+        return cr is not None and cr.status.state == STATE_PAIRED
 
     def _collect_counters(self) -> Dict[str, int]:
         group = self.env.group
@@ -506,6 +530,18 @@ class ChaosEngine:
             len(self.env.corrupted_payloads)
         counters["transfers_dropped"] = \
             self.env.system.replication_link.transfers_dropped
+        api = self.env.system.main.cluster.api
+        if api.chaos is not None:
+            counters["api_faults_injected_total"] = api.chaos.injected
+        rpc = self.env.system.replication_context.rpc
+        if rpc is not None and rpc.injector.injected:
+            counters["csi_rpc_timeouts_injected_total"] = \
+                rpc.injector.injected
+        restarts = sum(
+            controller.restart_count for controller in
+            self.env.system.main.cluster.manager.controllers)
+        if restarts:
+            counters["controller_restarts_total"] = restarts
         if self.slo is not None:
             counters["alerts_fired_total"] = sum(
                 1 for transition in self.slo.transitions

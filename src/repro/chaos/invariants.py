@@ -19,6 +19,14 @@ under failure:
 * **lag-convergence** — after the last fault heals, ``entry_lag``
   returns to zero within the plan's ``converge_timeout`` (checked by the
   engine, reported through the same violation list).
+* **reconcile-convergence** — after the control plane heals, the
+  namespace's replication custom resource reaches ``Paired`` again:
+  outages, crashes and dropped watches may delay reconciliation but
+  never wedge it.
+* **exactly-once-pairing** — no volume is ever replicated by more than
+  one ADC pair, no secondary volume is orphaned (created by a timed-out
+  RPC whose retry blindly created another), and no stray replication
+  CRs exist beyond the operator's single owned resource.
 
 Violations carry the simulated time and enough detail to replay the
 failing seed.
@@ -29,6 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, List
 
+from repro.csi.crds import (STATE_PAIRED, ConsistencyGroupReplication,
+                            VolumeReplication)
+from repro.errors import ApiError
 from repro.recovery.checker import (check_storage_cut,
                                     image_versions_from_volumes)
 
@@ -150,6 +161,8 @@ class InvariantMonitor:
         self._check_order_latency()
         self._check_silent_corruption()
         self._check_consistent_cut()
+        self._check_reconcile_convergence()
+        self._check_exactly_once_pairing()
 
     def _check_silent_corruption(self) -> None:
         """No corrupted payload may be readable from any secondary."""
@@ -189,6 +202,77 @@ class InvariantMonitor:
         if not report.consistent:
             self._record("consistent-cut",
                          f"storage-level prefix check failed: {report}")
+
+    def _check_reconcile_convergence(self) -> None:
+        """Healed control plane ⇒ the namespace's CR is ``Paired``."""
+        namespace = self.env.business.namespace
+        api = self.env.system.main.cluster.api
+        try:
+            cr = api.try_get(ConsistencyGroupReplication,
+                             f"nso-{namespace}", namespace)
+        except ApiError as exc:
+            self._record("reconcile-convergence",
+                         f"api still failing after heal: {exc}")
+            return
+        if cr is None:
+            self._record("reconcile-convergence",
+                         f"replication CR nso-{namespace} missing after "
+                         "the control plane healed")
+        elif cr.status.state != STATE_PAIRED:
+            self._record(
+                "reconcile-convergence",
+                f"CR nso-{namespace} stuck in {cr.status.state!r} "
+                f"({cr.status.message or 'no message'})")
+
+    def _check_exactly_once_pairing(self) -> None:
+        """No duplicate ADC pairs, no orphaned svols, no stray CRs."""
+        main = self.env.system.main.array
+        backup = self.env.system.backup.array
+        pvol_pairs: dict = {}
+        svol_ids = set()
+        for group_id in sorted(main.journal_groups):
+            group = main.journal_groups[group_id]
+            for pair_id in sorted(group.pairs):
+                pair = group.pairs[pair_id]
+                pvol_pairs.setdefault(
+                    pair.pvol.volume_id, []).append(pair_id)
+                svol_ids.add(pair.svol.volume_id)
+        for volume_id, pair_ids in sorted(pvol_pairs.items()):
+            if len(pair_ids) > 1:
+                self._record(
+                    "exactly-once-pairing",
+                    f"pvol {volume_id} replicated by "
+                    f"{len(pair_ids)} pairs: {pair_ids}")
+        # an svol-named backup volume no pair references is the debris
+        # of a timed-out create whose retry did not probe first
+        for volume in backup.list_volumes():
+            if volume.name.endswith("-svol") \
+                    and volume.volume_id not in svol_ids:
+                self._record(
+                    "exactly-once-pairing",
+                    f"orphaned secondary volume {volume.volume_id} "
+                    f"({volume.name!r}) not referenced by any pair")
+        namespace = self.env.business.namespace
+        api = self.env.system.main.cluster.api
+        try:
+            group_crs = api.list(ConsistencyGroupReplication,
+                                 namespace=namespace)
+            volume_crs = api.list(VolumeReplication, namespace=namespace)
+        except ApiError as exc:
+            self._record("exactly-once-pairing",
+                         f"api still failing after heal: {exc}")
+            return
+        for cr in group_crs:
+            if cr.meta.name != f"nso-{namespace}":
+                self._record(
+                    "exactly-once-pairing",
+                    f"stray ConsistencyGroupReplication "
+                    f"{cr.meta.name!r} beside the operator's own")
+        for cr in volume_crs:
+            self._record(
+                "exactly-once-pairing",
+                f"orphaned VolumeReplication {cr.meta.name!r} "
+                "(the namespace operator never creates these)")
 
     # -- reporting -----------------------------------------------------------
 

@@ -6,11 +6,16 @@ a plan from the simulator's seeded RNG streams: the same master seed
 always yields the same plan, so every campaign run is reproducible with
 ``repro chaos --campaign <preset> --seed <n>``.
 
-Two presets ship:
+Three presets ship:
 
-* ``quick`` — a short CI-sized storm (every fault kind once-ish,
-  ~1.5 simulated seconds of faults);
-* ``soak``  — a longer randomized storm for regression hunting.
+* ``quick``   — a short CI-sized data-plane storm (every fault kind
+  once-ish, ~1.5 simulated seconds of faults);
+* ``soak``    — a longer randomized data-plane storm for regression
+  hunting;
+* ``control`` — the control-plane storm (API outages/flakes,
+  controller crashes, ambiguous CSI RPC timeouts, severed watches)
+  that exercises the reconcile-convergence and exactly-once-pairing
+  invariants while the data plane keeps replicating untouched.
 """
 
 from __future__ import annotations
@@ -18,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Tuple
 
+from repro.chaos.control import (ApiFlake, ApiServerOutage,
+                                 ControllerCrash, CsiRpcFlake, WatchDrop)
 from repro.chaos.faults import (ArrayCrash, Fault, JournalCorruption,
                                 JournalSqueeze, LinkBrownout,
                                 LinkPartition, SlowDisk, WireCorruption)
@@ -35,6 +42,16 @@ CAMPAIGN_KINDS: Tuple[Tuple[str, float], ...] = (
     ("journal-corruption", 2.0),
     ("array-crash", 1.0),
     ("slow-disk", 1.0),
+)
+
+#: fault kinds the control-plane campaign draws (the flaky faults
+#: dominate; hard outages and crashes stay rarer, as in real clusters)
+CONTROL_KINDS: Tuple[Tuple[str, float], ...] = (
+    ("api-flake", 3.0),
+    ("csi-rpc-flake", 3.0),
+    ("watch-drop", 2.0),
+    ("api-outage", 2.0),
+    ("controller-crash", 2.0),
 )
 
 
@@ -71,6 +88,8 @@ class CampaignPreset:
     min_duration: float = 0.04
     #: earliest fault start (the system needs a beat of healthy traffic)
     warmup: float = 0.10
+    #: weighted fault-kind table random draws come from
+    kinds: Tuple[Tuple[str, float], ...] = CAMPAIGN_KINDS
 
 
 QUICK = CampaignPreset(
@@ -86,7 +105,14 @@ SOAK = CampaignPreset(
                     "link-partition", "link-brownout",
                     "journal-squeeze", "array-crash", "slow-disk"))
 
-PRESETS = {preset.name: preset for preset in (QUICK, SOAK)}
+CONTROL = CampaignPreset(
+    name="control", fault_window=1.6, converge_timeout=4.0,
+    random_faults=3,
+    required_kinds=("api-outage", "api-flake", "controller-crash",
+                    "csi-rpc-flake", "watch-drop"),
+    kinds=CONTROL_KINDS)
+
+PRESETS = {preset.name: preset for preset in (QUICK, SOAK, CONTROL)}
 
 
 def _make_fault(kind: str, at: float, duration: float,
@@ -115,6 +141,24 @@ def _make_fault(kind: str, at: float, duration: float,
         return SlowDisk(
             at, duration,
             factor=rng.uniform("chaos.plan.param", 10.0, 60.0))
+    if kind == "api-outage":
+        return ApiServerOutage(at, duration)
+    if kind == "api-flake":
+        return ApiFlake(
+            at, duration,
+            flake_probability=rng.uniform("chaos.plan.param", 0.10, 0.35),
+            conflict_probability=rng.uniform("chaos.plan.param",
+                                             0.05, 0.25))
+    if kind == "controller-crash":
+        return ControllerCrash(at, duration)
+    if kind == "csi-rpc-flake":
+        return CsiRpcFlake(
+            at, duration,
+            timeout_probability=rng.uniform("chaos.plan.param",
+                                            0.15, 0.45),
+            effect_probability=rng.uniform("chaos.plan.param", 0.3, 0.9))
+    if kind == "watch-drop":
+        return WatchDrop(at)
     raise ValueError(f"unknown fault kind: {kind!r}")
 
 
@@ -126,13 +170,13 @@ def build_plan(sim: "Simulator", preset: CampaignPreset) -> FaultPlan:
     phase starts with every fault healed.
     """
     rng = sim.rng
-    kinds = [kind for kind, _weight in CAMPAIGN_KINDS]
-    weights = [weight for _kind, weight in CAMPAIGN_KINDS]
+    kinds = [kind for kind, _weight in preset.kinds]
+    weights = [weight for _kind, weight in preset.kinds]
     total = sum(weights)
 
     def draw_kind() -> str:
         point = rng.uniform("chaos.plan.kind", 0.0, total)
-        for kind, weight in CAMPAIGN_KINDS:
+        for kind, weight in preset.kinds:
             point -= weight
             if point <= 0:
                 return kind

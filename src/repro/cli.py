@@ -127,7 +127,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos import run_campaigns
-    preset = "soak" if args.soak else args.campaign
+    preset = args.preset or ("soak" if args.soak else args.campaign)
     if args.seeds < 1:
         raise SystemExit(f"repro: --seeds must be >= 1 (got {args.seeds})")
     seeds = list(range(args.seed, args.seed + args.seeds))
@@ -277,10 +277,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = sub.add_parser(
         "chaos", help="run a seeded fault-injection campaign and "
                       "verify the robustness invariants")
-    chaos.add_argument("--campaign", choices=["quick", "soak"],
+    chaos.add_argument("--campaign", choices=["quick", "soak", "control"],
                        default="quick",
                        help="fault-storm preset (quick = CI-sized, "
-                            "soak = longer regression hunt)")
+                            "soak = longer regression hunt, control = "
+                            "control-plane storm)")
+    chaos.add_argument("--preset", choices=["quick", "soak", "control"],
+                       default=None,
+                       help="alias for --campaign (wins when both are "
+                            "given)")
     chaos.add_argument("--seed", type=int, default=7,
                        help="master seed; the same seed replays the "
                             "exact same campaign")

@@ -14,6 +14,7 @@ from repro.csi.crds import (REPLICATION_FINALIZER, STATE_CONFIGURING,
                             STATE_COPYING, STATE_PAIRED, STATE_SUSPENDED,
                             ConsistencyGroupReplication, VolumeReplication)
 from repro.csi.driver import HspcDriver
+from repro.csi.rpc import CsiRpcInjector, RpcChannel
 from repro.csi.replication_plugin import (SECONDARY_PV_LABEL,
                                           ReplicationPluginContext,
                                           ReplicationReconciler,
@@ -31,6 +32,7 @@ from repro.csi.storage_plugin import (GroupSnapshotReconciler,
 __all__ = [
     "ConsistencyGroupReplication",
     "CsiDriver",
+    "CsiRpcInjector",
     "GroupSnapshotReconciler",
     "HspcDriver",
     "ProvisionedSnapshot",
@@ -40,6 +42,7 @@ __all__ = [
     "REPLICATION_FINALIZER",
     "ReplicationPluginContext",
     "ReplicationReconciler",
+    "RpcChannel",
     "SECONDARY_PV_LABEL",
     "STATE_CONFIGURING",
     "STATE_COPYING",

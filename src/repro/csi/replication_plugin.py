@@ -29,6 +29,7 @@ from repro.errors import CsiError, NotFoundError
 from repro.csi.crds import (REPLICATION_FINALIZER, STATE_CONFIGURING,
                             STATE_COPYING, STATE_PAIRED, STATE_SUSPENDED,
                             ConsistencyGroupReplication, VolumeReplication)
+from repro.csi.rpc import RpcChannel
 from repro.csi.storage_plugin import resolve_bound_volume
 from repro.platform.apiserver import ApiServer
 from repro.platform.controller import Reconciler, ReconcileResult, Requeue
@@ -57,6 +58,9 @@ class ReplicationPluginContext:
     #: storage-management REST latency per command
     command_latency: float = 0.050
     adc_config: Optional[AdcConfig] = None
+    #: management transport; when set, every array command travels
+    #: through it (latency, deadlines, ambiguous-outcome injection)
+    rpc: Optional[RpcChannel] = None
 
 
 class ReplicationReconciler(Reconciler):
@@ -71,8 +75,26 @@ class ReplicationReconciler(Reconciler):
     # -- helpers -------------------------------------------------------------
 
     def _pay(self, api: ApiServer) -> Generator[object, object, None]:
-        if self.context.command_latency > 0:
+        if self.context.rpc is not None:
+            yield from self.context.rpc.pay()
+        elif self.context.command_latency > 0:
             yield api.sim.timeout(self.context.command_latency)
+
+    def _call(self, api: ApiServer, step: str, fn, probe=None,
+              ) -> Generator[object, object, object]:
+        """Run one array command over the management transport.
+
+        With an :class:`RpcChannel` the command gets deadline/ambiguous-
+        outcome semantics (and probing recovery); without one it is the
+        historical pay-then-execute path.
+        """
+        if self.context.rpc is not None:
+            result = yield from self.context.rpc.call(step, fn, probe=probe)
+        else:
+            yield from self._pay(api)
+            result = fn()
+        self._count(api, step)
+        return result
 
     @staticmethod
     def _count(api: ApiServer, step: str) -> None:
@@ -186,16 +208,21 @@ class ReplicationReconciler(Reconciler):
                               ) -> Generator[object, object, None]:
         if group_id in self.context.main_array.journal_groups:
             return
-        yield from self._pay(api)
-        main_journal = self.context.main_array.create_journal(
-            self.context.main_pool_id)
-        backup_journal = self.context.backup_array.create_journal(
-            self.context.backup_pool_id)
-        self.context.main_array.create_journal_group(
-            group_id, main_journal.journal_id, self.context.backup_array,
-            backup_journal.journal_id, self.context.link,
-            adc_config=self.context.adc_config)
-        self._count(api, "create_journal_group")
+
+        def command():
+            main_journal = self.context.main_array.create_journal(
+                self.context.main_pool_id)
+            backup_journal = self.context.backup_array.create_journal(
+                self.context.backup_pool_id)
+            return self.context.main_array.create_journal_group(
+                group_id, main_journal.journal_id,
+                self.context.backup_array, backup_journal.journal_id,
+                self.context.link, adc_config=self.context.adc_config)
+
+        yield from self._call(
+            api, "create_journal_group", command,
+            probe=lambda: self.context.main_array.journal_groups.get(
+                group_id))
 
     def _ensure_pair(self, api: ApiServer,
                      cr: ConsistencyGroupReplication, pvc_name: str,
@@ -209,20 +236,31 @@ class ReplicationReconciler(Reconciler):
             pv.spec.csi.volume_handle)
         secondary_handle = cr.status.secondary_handles.get(pvc_name)
         if secondary_handle is None:
-            yield from self._pay(api)
-            svol = self.context.backup_array.create_volume(
-                self.context.backup_pool_id, pv.spec.capacity_blocks,
-                name=f"{pair_id}-svol")
+            svol_name = f"{pair_id}-svol"
+            # a previous attempt may have created the volume and then
+            # died before persisting the handle to the CR; re-discover
+            # by deterministic name instead of leaking an orphan
+            svol = self.context.backup_array.find_volume_by_name(svol_name)
+            if svol is None:
+                svol = yield from self._call(
+                    api, "create_secondary_volume",
+                    lambda: self.context.backup_array.create_volume(
+                        self.context.backup_pool_id,
+                        pv.spec.capacity_blocks, name=svol_name),
+                    probe=lambda:
+                    self.context.backup_array.find_volume_by_name(
+                        svol_name))
             secondary_handle = self.context.backup_array.volume_handle(
                 svol.volume_id)
             cr.status.secondary_handles[pvc_name] = secondary_handle
             cr = api.update(cr)  # persist before pairing (idempotency)
-            self._count(api, "create_secondary_volume")
         svol_id = self.context.backup_array.parse_handle(secondary_handle)
-        yield from self._pay(api)
-        self.context.main_array.create_async_pair(
-            pair_id, group_id, pvol_id, self.context.backup_array, svol_id)
-        self._count(api, "create_async_pair")
+        yield from self._call(
+            api, "create_async_pair",
+            lambda: self.context.main_array.create_async_pair(
+                pair_id, group_id, pvol_id, self.context.backup_array,
+                svol_id),
+            probe=lambda: self.context.main_array.find_pair(pair_id))
         return cr
 
     def _reconcile_suspension(self, api: ApiServer,
@@ -244,9 +282,9 @@ class ReplicationReconciler(Reconciler):
             states = {pair.suspended_state for pair in
                       group.pairs.values()}
             if cr.spec.suspended and not group.suspended:
-                yield from self._pay(api)
-                group.split()
-                self._count(api, "split")
+                yield from self._call(
+                    api, "split", group.split,
+                    probe=lambda g=group: g if g.suspended else None)
             elif not cr.spec.suspended and group.suspended and \
                     states == {PairState.PSUS} and group.link.is_up:
                 yield from self._pay(api)
@@ -287,16 +325,24 @@ class ReplicationReconciler(Reconciler):
         for pvc_name in cr.spec.pvc_names:
             pair_id = self._pair_id(cr, pvc_name)
             if self.context.main_array.find_pair(pair_id) is not None:
-                yield from self._pay(api)
-                self.context.main_array.delete_pair(pair_id)
-                self._count(api, "delete_pair")
+                yield from self._call(
+                    api, "delete_pair",
+                    lambda p=pair_id: self.context.main_array.delete_pair(
+                        p),
+                    probe=lambda p=pair_id: True
+                    if self.context.main_array.find_pair(p) is None
+                    else None)
         for group_id in sorted(set(group_ids.values())):
             group = self.context.main_array.journal_groups.get(group_id)
             if group is not None and not group.pairs:
-                yield from self._pay(api)
-                self.context.main_array.delete_journal_group(
-                    group_id, self.context.backup_array)
-                self._count(api, "delete_journal_group")
+                yield from self._call(
+                    api, "delete_journal_group",
+                    lambda g=group_id:
+                    self.context.main_array.delete_journal_group(
+                        g, self.context.backup_array),
+                    probe=lambda g=group_id: True
+                    if g not in self.context.main_array.journal_groups
+                    else None)
         for pvc_name in cr.spec.pvc_names:
             name = self._backup_pv_name(cr, pvc_name)
             if self.context.backup_api.try_get(

@@ -126,6 +126,12 @@ class ProvisionerReconciler(Reconciler):
                           ref: str) -> PersistentVolume | None:
         candidates = []
         for pv in api.list(PersistentVolume):
+            if pv.spec.claim_ref == ref:
+                # already (half-)bound to exactly this claim: a bind
+                # whose PVC update flaked or crashed left the PV Bound
+                # while the claim stayed Pending.  Adopt it — trying to
+                # provision a fresh PV would livelock on the name
+                return pv
             if pv.status.phase != "Available":
                 continue
             if pv.spec.storage_class != pvc.spec.storage_class:

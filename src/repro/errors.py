@@ -130,8 +130,29 @@ class InvalidObjectError(ApiError):
     reason = "Invalid"
 
 
+class UnavailableError(ApiError):
+    """The API server is (transiently) unavailable.
+
+    Raised by chaos-injected control-plane outages and flakes; clients
+    must treat it as retryable — the request may or may not have been
+    admitted is *not* a question here, because the server rejects the
+    call before touching state (fail-closed)."""
+
+    code = 503
+    reason = "Unavailable"
+
+
 class CsiError(PlatformError):
     """A CSI driver call failed."""
+
+
+class RpcTimeoutError(CsiError):
+    """A CSI management RPC exceeded its deadline.
+
+    The outcome is **ambiguous**: the array may or may not have executed
+    the command before the deadline passed.  Callers must retry
+    idempotently — re-reading array state before re-driving side
+    effects — which is exactly what level-triggered reconcilers do."""
 
 
 # ---------------------------------------------------------------------------
@@ -166,6 +187,25 @@ class TwoPhaseCommitError(DatabaseError):
 
 class FailoverError(ReproError):
     """Backup-site promotion failed."""
+
+
+class RunbookError(ReproError):
+    """Illegal runbook state (bad resume, step replay mismatch)."""
+
+
+class RunbookInterrupted(RunbookError):
+    """The orchestrator died at a step boundary (crash-injection hook).
+
+    The runbook's journal already holds the step's checkpoint, so a new
+    manager resuming from the same journal continues after the step
+    without re-driving it.
+    """
+
+    def __init__(self, runbook: str, step: str) -> None:
+        super().__init__(
+            f"runbook {runbook!r} crashed after step {step!r}")
+        self.runbook = runbook
+        self.step = step
 
 
 class CollapsedBackupError(FailoverError):

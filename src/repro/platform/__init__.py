@@ -18,13 +18,14 @@ Public surface:
   model.
 """
 
-from repro.platform.apiserver import (ApiServer, EventType, WatchEvent,
-                                      WatchStream)
+from repro.platform.apiserver import (WATCH_CLOSED, ApiFaultInjector,
+                                      ApiServer, EventType, WatchClosed,
+                                      WatchEvent, WatchStream)
 from repro.platform.cluster import Cluster
 from repro.platform.console import Console, ConsoleOperation
-from repro.platform.controller import (BackoffPolicy, Controller,
-                                       ControllerManager, Reconciler,
-                                       Requeue)
+from repro.platform.controller import (DEADLINE_EXCEEDED, BackoffPolicy,
+                                       Controller, ControllerManager,
+                                       Reconciler, Requeue)
 from repro.platform.events import (PlatformEvent, events_for,
                                    record_event)
 from repro.platform.gc import (GC_FINALIZER, NamespaceGcReconciler,
@@ -41,6 +42,7 @@ from repro.platform.resources import (CsiVolumeSource, Namespace,
 from repro.platform.scheduler import PodSchedulerReconciler
 
 __all__ = [
+    "ApiFaultInjector",
     "ApiObject",
     "ApiServer",
     "BackoffPolicy",
@@ -50,6 +52,7 @@ __all__ = [
     "ConsoleOperation",
     "Controller",
     "ControllerManager",
+    "DEADLINE_EXCEEDED",
     "CsiVolumeSource",
     "EventType",
     "GC_FINALIZER",
@@ -71,6 +74,8 @@ __all__ = [
     "VolumeGroupSnapshot",
     "VolumeSnapshot",
     "VolumeSnapshotSpec",
+    "WATCH_CLOSED",
+    "WatchClosed",
     "WatchEvent",
     "WatchStream",
     "claim_ref",

@@ -29,12 +29,78 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Type, TypeVar
 
 from repro.errors import (AlreadyExistsError, ConflictError,
-                          NotFoundError)
+                          NotFoundError, UnavailableError)
 from repro.platform.objects import ApiObject, ObjectKey, matches_labels
 from repro.simulation.kernel import Simulator
 from repro.simulation.resources import Store
 
 T = TypeVar("T", bound=ApiObject)
+
+
+class ApiFaultInjector:
+    """Deterministic fault injection at the API-server admission point.
+
+    Control-plane chaos faults install one on :attr:`ApiServer.chaos`;
+    every request then passes through :meth:`admit` *before touching any
+    state*, so an injected failure is always fail-closed — the request
+    never half-applies.  Three knobs:
+
+    * ``outage`` — every call raises :class:`UnavailableError` (a hard
+      API-server outage window);
+    * ``flake_probability`` — each call independently raises
+      :class:`UnavailableError` with this probability (seed-
+      deterministic, drawn from the named RNG stream);
+    * ``conflict_probability`` — each *mutating* call independently
+      raises :class:`ConflictError`, modelling a stale-cache write
+      racing another actor.
+    """
+
+    #: verbs that mutate server state (conflict injection targets these)
+    MUTATING = frozenset({"create", "update", "delete",
+                          "remove_finalizer"})
+
+    def __init__(self, sim: Simulator, stream: str = "chaos.api") -> None:
+        self.sim = sim
+        self.stream = stream
+        self.outage = False
+        self.flake_probability = 0.0
+        self.conflict_probability = 0.0
+        #: total faults injected (timeline bookkeeping for campaigns)
+        self.injected = 0
+
+    def clear(self) -> None:
+        """Heal: stop injecting anything (the injector stays installed)."""
+        self.outage = False
+        self.flake_probability = 0.0
+        self.conflict_probability = 0.0
+
+    def admit(self, verb: str, detail: str = "") -> None:
+        """Raise the injected failure for this request, if any."""
+        error: Optional[Exception] = None
+        kind = ""
+        if self.outage:
+            error = UnavailableError(
+                f"api server unavailable ({verb} {detail})")
+            kind = "outage"
+        elif self.flake_probability and self.sim.rng.uniform(
+                self.stream, 0.0, 1.0) < self.flake_probability:
+            error = UnavailableError(
+                f"api server flaked ({verb} {detail})")
+            kind = "flake"
+        elif self.conflict_probability and verb in self.MUTATING and \
+                self.sim.rng.uniform(self.stream, 0.0, 1.0) < \
+                self.conflict_probability:
+            error = ConflictError(
+                f"injected write conflict ({verb} {detail})")
+            kind = "conflict"
+        if error is None:
+            return
+        self.injected += 1
+        self.sim.telemetry.registry.counter(
+            "repro_api_faults_injected_total",
+            help="API-server faults injected by chaos campaigns",
+            verb=verb, kind=kind).increment()
+        raise error
 
 
 class EventType(enum.Enum):
@@ -58,16 +124,45 @@ class WatchEvent:
         return self.object.key
 
 
+class WatchClosed:
+    """Sentinel delivered to a severed stream's readers.
+
+    A consumer receiving it must treat the stream as dead and re-list
+    (open a fresh watch, whose replay delivers every live object as
+    ``ADDED``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<WATCH_CLOSED>"
+
+
+#: the one sentinel instance every closed stream delivers
+WATCH_CLOSED = WatchClosed()
+
+
 class WatchStream:
     """A consumer handle over one kind's event feed."""
 
-    def __init__(self, sim: Simulator, kind: str, name: str = "") -> None:
+    def __init__(self, sim: Simulator, kind: str, name: str = "",
+                 server: Optional["ApiServer"] = None) -> None:
         self.kind = kind
         self._queue = Store(sim, name=name or f"watch-{kind}")
+        self._server = server
         self.closed = False
 
     def next_event(self):
-        """Event (simulation waitable) yielding the next WatchEvent."""
+        """Event (simulation waitable) yielding the next WatchEvent.
+
+        After :meth:`close`, pending events drain first and then every
+        read yields :data:`WATCH_CLOSED`."""
+        if self.closed and not len(self._queue):
+            # the sentinel was already consumed (or handed straight to a
+            # blocked reader); keep reporting closure instead of
+            # wedging late readers forever
+            event = self._queue.sim.event(name=f"watch-{self.kind}.closed")
+            event.succeed(WATCH_CLOSED)
+            return event
         return self._queue.get()
 
     def try_next(self):
@@ -79,8 +174,25 @@ class WatchStream:
             self._queue.put(event)
 
     def close(self) -> None:
-        """Stop receiving events (pending ones remain readable)."""
+        """Sever the stream (idempotent).
+
+        Ordering contract (the close-during-delivery rule): an event
+        already handed to a blocked reader at the closing instant is
+        still delivered — closing never claws it back — and every event
+        queued before the close remains readable, strictly *before* the
+        :data:`WATCH_CLOSED` sentinel.  Nothing is lost and nothing is
+        delivered twice; the sentinel is appended exactly once, and the
+        stream is detached from the server so no further events arrive.
+        """
+        if self.closed:
+            return
         self.closed = True
+        if self._server is not None:
+            self._server._detach(self)
+        # the sentinel goes through the same FIFO as real events, so a
+        # reader blocked mid-delivery finishes its event first and every
+        # queued event is read before the closure is observed
+        self._queue.put(WATCH_CLOSED)
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -98,11 +210,18 @@ class ApiServer:
         self._rv_counter = itertools.count(1)
         #: total mutations served, for operator-efficiency experiments
         self.mutation_count = 0
+        #: chaos hook: when set, every request passes admission first
+        self.chaos: Optional[ApiFaultInjector] = None
+
+    def _admit(self, verb: str, detail: str = "") -> None:
+        if self.chaos is not None:
+            self.chaos.admit(verb, detail)
 
     # -- CRUD ---------------------------------------------------------------
 
     def create(self, obj: T) -> T:
         """Admit a new object; returns the stored snapshot."""
+        self._admit("create", str(obj.key))
         obj.validate()
         kind_store = self._objects.setdefault(obj.kind, {})
         key = obj.key
@@ -120,6 +239,7 @@ class ApiServer:
 
     def get(self, cls: Type[T], name: str, namespace: str = "") -> T:
         """Fetch one object by identity; raises NotFoundError."""
+        self._admit("get", f"{cls.KIND}/{namespace}/{name}")
         key = ObjectKey(cls.KIND, namespace, name)
         stored = self._objects.get(cls.KIND, {}).get(key)
         if stored is None:
@@ -138,6 +258,7 @@ class ApiServer:
              label_selector: Optional[Dict[str, str]] = None) -> List[T]:
         """List objects of a kind, optionally filtered by namespace and
         an equality label selector; name-sorted for determinism."""
+        self._admit("list", cls.KIND)
         results = []
         for stored in self._objects.get(cls.KIND, {}).values():
             if namespace is not None and stored.meta.namespace != namespace:
@@ -150,6 +271,7 @@ class ApiServer:
 
     def update(self, obj: T) -> T:
         """Replace an object; requires the current resource version."""
+        self._admit("update", str(obj.key))
         obj.validate()
         stored = self._require(obj.key)
         if obj.meta.resource_version != stored.meta.resource_version:
@@ -175,6 +297,7 @@ class ApiServer:
         objects with finalizers get a deletion timestamp and a
         ``MODIFIED`` event so their controllers can clean up.
         """
+        self._admit("delete", f"{cls.KIND}/{namespace}/{name}")
         key = ObjectKey(cls.KIND, namespace, name)
         stored = self._require(key)
         if stored.meta.finalizers:
@@ -191,6 +314,7 @@ class ApiServer:
     def remove_finalizer(self, cls: Type[T], name: str, namespace: str,
                          finalizer: str) -> None:
         """Remove one finalizer; completes deletion when it was the last."""
+        self._admit("remove_finalizer", f"{cls.KIND}/{namespace}/{name}")
         key = ObjectKey(cls.KIND, namespace, name)
         stored = self._require(key)
         if finalizer not in stored.meta.finalizers:
@@ -206,14 +330,32 @@ class ApiServer:
     def watch(self, cls: Type[T], name: str = "") -> WatchStream:
         """Open a watch on a kind; past objects are replayed as ADDED so
         late-starting controllers converge (list+watch semantics)."""
-        stream = WatchStream(self.sim, cls.KIND, name=name)
+        self._admit("watch", cls.KIND)
+        stream = WatchStream(self.sim, cls.KIND, name=name, server=self)
         self._watches.setdefault(cls.KIND, []).append(stream)
         for stored in self._objects.get(cls.KIND, {}).values():
             stream._deliver(WatchEvent(EventType.ADDED,
                                        copy.deepcopy(stored)))
         return stream
 
+    def drop_watches(self, kind: Optional[str] = None) -> int:
+        """Chaos hook: sever every open watch stream (of one kind, or
+        all).  Consumers observe :data:`WATCH_CLOSED` after their queued
+        events drain and must re-list.  Returns how many were severed."""
+        kinds = [kind] if kind is not None else list(self._watches)
+        dropped = 0
+        for k in kinds:
+            for stream in list(self._watches.get(k, [])):
+                stream.close()
+                dropped += 1
+        return dropped
+
     # -- internals ------------------------------------------------------
+
+    def _detach(self, stream: WatchStream) -> None:
+        streams = self._watches.get(stream.kind, [])
+        if stream in streams:
+            streams.remove(stream)
 
     def _require(self, key: ObjectKey) -> ApiObject:
         stored = self._objects.get(key.kind, {}).get(key)

@@ -64,11 +64,12 @@ class Cluster:
     # -- controller lifecycle ----------------------------------------------
 
     def install(self, reconciler: Reconciler, name: str = "",
-                backoff: Optional[BackoffPolicy] = None) -> Controller:
+                backoff: Optional[BackoffPolicy] = None,
+                deadline: Optional[float] = None) -> Controller:
         """Register a controller; starts immediately if the cluster is up."""
         controller = self.manager.register(
             reconciler, name=name or f"{self.name}.{type(reconciler).__name__}",
-            backoff=backoff)
+            backoff=backoff, deadline=deadline)
         if self._started:
             controller.start()
         return controller

@@ -9,6 +9,8 @@ from repro.recovery.failback import (FailbackManager, FailbackReport,
                                      FailbackResult)
 from repro.recovery.failover import (FailoverManager, FailoverReport,
                                      PromotedBusiness, fail_and_recover)
+from repro.recovery.runbook import (Runbook, RunbookJournal, RunbookState,
+                                    StepRecord)
 from repro.recovery.schedule import SnapshotGeneration, SnapshotScheduler
 
 __all__ = [
@@ -21,7 +23,11 @@ __all__ = [
     "FailoverReport",
     "InvariantViolation",
     "PromotedBusiness",
+    "Runbook",
+    "RunbookJournal",
+    "RunbookState",
     "SnapshotGeneration",
+    "StepRecord",
     "SnapshotScheduler",
     "StorageCutReport",
     "check_business_invariants",

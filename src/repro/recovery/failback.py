@@ -39,6 +39,7 @@ from repro.apps.minidb.device import ArrayBlockDevice
 from repro.apps.minidb.recovery import reopen_database
 from repro.recovery.checker import (BusinessCheckReport,
                                     check_business_invariants)
+from repro.recovery.runbook import Runbook, RunbookJournal
 from repro.scenarios.builders import TwoSiteSystem
 from repro.storage.replication import PairState
 
@@ -60,6 +61,10 @@ class FailbackReport:
     #: orders committed at the backup site during the reverse copy
     orders_during_reverse_copy: int = 0
     succeeded: bool = False
+    #: per-step wall-clock accounting from the runbook checkpoints
+    step_durations: Optional[Dict[str, float]] = None
+    #: True when this report came from a resumed (crashed) runbook
+    resumed: bool = False
 
     @property
     def downtime_seconds(self) -> float:
@@ -86,9 +91,13 @@ class FailbackManager:
     def __init__(self, system: TwoSiteSystem,
                  secondary_volume_ids: Dict[str, int],
                  original_volume_ids: Dict[str, int],
-                 bucket_count: int = 32) -> None:
+                 bucket_count: int = 32,
+                 journal: Optional[RunbookJournal] = None,
+                 crash_after: Optional[str] = None) -> None:
         """``secondary_volume_ids``/``original_volume_ids`` map pvc name
-        → backup-array (now production) / main-array volume id."""
+        → backup-array (now production) / main-array volume id.
+        ``journal``/``crash_after`` follow the failover manager's crash-
+        restartable runbook contract."""
         if set(secondary_volume_ids) != set(original_volume_ids):
             raise FailoverError(
                 "secondary and original volume maps must cover the same "
@@ -97,6 +106,8 @@ class FailbackManager:
         self.secondary = dict(secondary_volume_ids)
         self.original = dict(original_volume_ids)
         self.bucket_count = bucket_count
+        self.journal = journal if journal is not None else RunbookJournal()
+        self.crash_after = crash_after
 
     def execute(self, backup_app: EcommerceApp,
                 catalog: Sequence[CatalogItem],
@@ -115,61 +126,93 @@ class FailbackManager:
         sim = self.system.sim
         main = self.system.main.array
         backup = self.system.backup.array
-        report = FailbackReport(started_at=sim.now)
+        runbook = Runbook(sim, "failback", journal=self.journal,
+                          crash_after=self.crash_after)
+        report = FailbackReport(started_at=runbook.started_at)
+        report.resumed = runbook.resumed
 
         # 1. repair the main site
-        main.repair()
-        self.system.network.restore()
+        def repair_step():
+            main.repair()
+            self.system.network.restore()
+
+        yield from runbook.step("repair", repair_step)
 
         # 2. dissolve old forward pairs, format the stale volumes
-        self._dissolve_forward_pairs()
-        for volume_id in sorted(self.original.values()):
-            main.format_volume(volume_id)
+        def dissolve_step():
+            self._dissolve_forward_pairs()
+            for volume_id in sorted(self.original.values()):
+                main.format_volume(volume_id)
+
+        yield from runbook.step("dissolve", dissolve_step)
 
         # 3. reverse replication (backup -> main), one consistency group
-        reverse_journal_b = backup.create_journal(
-            self.system.backup.pool_id)
-        reverse_journal_m = main.create_journal(self.system.main.pool_id)
-        backup.create_journal_group(
-            REVERSE_GROUP_ID, reverse_journal_b.journal_id, main,
-            reverse_journal_m.journal_id, self.system.network.backward)
-        for pvc_name in sorted(self.secondary):
-            backup.create_async_pair(
-                f"failback/{pvc_name}", REVERSE_GROUP_ID,
-                self.secondary[pvc_name], main, self.original[pvc_name])
-        orders_before = backup_app.orders_accepted
-        group = backup.journal_groups[REVERSE_GROUP_ID]
-        while not all(pair.state is PairState.PAIR
-                      for pair in group.pairs.values()):
-            if any(pair.state is PairState.PSUE
-                   for pair in group.pairs.values()):
-                raise FailoverError(
-                    "failback reverse copy suspended (PSUE); repair the "
-                    "link/journals and retry")
-            yield sim.timeout(pair_poll_interval)
-        report.reverse_paired_at = sim.now
-        report.orders_during_reverse_copy = (backup_app.orders_accepted
-                                             - orders_before)
+        def reverse_step():
+            reverse_journal_b = backup.create_journal(
+                self.system.backup.pool_id)
+            reverse_journal_m = main.create_journal(
+                self.system.main.pool_id)
+            backup.create_journal_group(
+                REVERSE_GROUP_ID, reverse_journal_b.journal_id, main,
+                reverse_journal_m.journal_id,
+                self.system.network.backward)
+            for pvc_name in sorted(self.secondary):
+                backup.create_async_pair(
+                    f"failback/{pvc_name}", REVERSE_GROUP_ID,
+                    self.secondary[pvc_name], main,
+                    self.original[pvc_name])
+            return backup_app.orders_accepted  # orders before the copy
+
+        orders_before = yield from runbook.step("reverse_pairs",
+                                                reverse_step)
+
+        def wait_step():
+            group = backup.journal_groups[REVERSE_GROUP_ID]
+            while not all(pair.state is PairState.PAIR
+                          for pair in group.pairs.values()):
+                if any(pair.state is PairState.PSUE
+                       for pair in group.pairs.values()):
+                    raise FailoverError(
+                        "failback reverse copy suspended (PSUE); repair "
+                        "the link/journals and retry")
+                yield sim.timeout(pair_poll_interval)
+            return {"reverse_paired_at": sim.now,
+                    "orders_during": (backup_app.orders_accepted
+                                      - orders_before)}
+
+        paired = yield from runbook.step("wait_pair", wait_step)
+        report.reverse_paired_at = paired["reverse_paired_at"]
+        report.orders_during_reverse_copy = paired["orders_during"]
 
         # 4. switchover: quiesce, drain, promote, recover, reopen
-        report.quiesce_started_at = sim.now
-        if load is not None:
-            load.stop()
-            while load.alive_clients:
+        def quiesce_step():
+            quiesce_started = sim.now
+            group = backup.journal_groups[REVERSE_GROUP_ID]
+            if load is not None:
+                load.stop()
+                while load.alive_clients:
+                    yield sim.timeout(pair_poll_interval)
+            # the business is quiet; wait for the pipeline to drain
+            while group.entry_lag > 0:
                 yield sim.timeout(pair_poll_interval)
-        # the business is quiet; wait for the pipeline to fully drain
-        while group.entry_lag > 0:
-            yield sim.timeout(pair_poll_interval)
-        group.stop()
-        while group.applying:
-            yield sim.timeout(0.0001)
-        drained = yield from group.drain()
-        if drained:
-            raise FailoverError(
-                "reverse journal still had entries after the drain wait")
-        for pvc_name in sorted(self.original):
-            backup.delete_pair(f"failback/{pvc_name}")
-        backup.delete_journal_group(REVERSE_GROUP_ID, main)
+            group.stop()
+            while group.applying:
+                yield sim.timeout(0.0001)
+            drained = yield from group.drain()
+            if drained:
+                raise FailoverError(
+                    "reverse journal still had entries after the drain "
+                    "wait")
+            # existence guards make a mid-step crash re-runnable
+            for pvc_name in sorted(self.original):
+                if backup.find_pair(f"failback/{pvc_name}") is not None:
+                    backup.delete_pair(f"failback/{pvc_name}")
+            if REVERSE_GROUP_ID in backup.journal_groups:
+                backup.delete_journal_group(REVERSE_GROUP_ID, main)
+            return quiesce_started
+
+        report.quiesce_started_at = yield from runbook.step(
+            "quiesce", quiesce_step)
 
         def device(pvc_name: str) -> ArrayBlockDevice:
             return ArrayBlockDevice(main, self.original[pvc_name])
@@ -180,24 +223,38 @@ class FailbackManager:
         stock_image = DatabaseImage(wal_device=device("stock-wal"),
                                     data_device=device("stock-data"),
                                     bucket_count=self.bucket_count)
-        sales_rec, stock_rec = yield from recover_business_images(
-            sim, sales_image, stock_image)
-        business = decode_business_state(sales_rec.state,
-                                         stock_rec.state)
-        report.business_report = check_business_invariants(business,
-                                                           catalog)
-        if not report.business_report.consistent:
-            raise FailoverError(
-                f"failback image inconsistent: {report.business_report}")
-        sales_db = reopen_database(sim, "sales", sales_image.wal_device,
-                                   sales_image.data_device,
-                                   self.bucket_count, sales_rec)
-        stock_db = reopen_database(sim, "stock", stock_image.wal_device,
-                                   stock_image.data_device,
-                                   self.bucket_count, stock_rec)
-        app = EcommerceApp(sales_db, stock_db, catalog, epoch="main2")
+        sales_rec, stock_rec = yield from runbook.step(
+            "recover",
+            lambda: recover_business_images(sim, sales_image, stock_image),
+            volatile=True)
+
+        def verify_step():
+            business = decode_business_state(sales_rec.state,
+                                             stock_rec.state)
+            report.business_report = check_business_invariants(
+                business, catalog)
+            if not report.business_report.consistent:
+                raise FailoverError(
+                    f"failback image inconsistent: "
+                    f"{report.business_report}")
+
+        yield from runbook.step("verify", verify_step, volatile=True)
+
+        def reopen_step():
+            sales_db = reopen_database(
+                sim, "sales", sales_image.wal_device,
+                sales_image.data_device, self.bucket_count, sales_rec)
+            stock_db = reopen_database(
+                sim, "stock", stock_image.wal_device,
+                stock_image.data_device, self.bucket_count, stock_rec)
+            return EcommerceApp(sales_db, stock_db, catalog,
+                                epoch="main2")
+
+        app = yield from runbook.step("reopen", reopen_step,
+                                      volatile=True)
         report.completed_at = sim.now
         report.succeeded = True
+        report.step_durations = runbook.step_durations()
         return FailbackResult(app=app, report=report)
 
     def _dissolve_forward_pairs(self) -> None:

@@ -41,6 +41,7 @@ from repro.recovery.checker import (BusinessCheckReport, StorageCutReport,
                                     check_business_invariants,
                                     check_storage_cut,
                                     image_versions_from_volumes)
+from repro.recovery.runbook import Runbook, RunbookJournal
 from repro.scenarios.builders import TwoSiteSystem
 from repro.scenarios.business import PVC_LAYOUT, BusinessProcess
 from repro.storage.adc import JournalGroup
@@ -69,6 +70,12 @@ class FailoverReport:
     lost_gtids: List[str] = field(default_factory=list)
     succeeded: bool = False
     failure_reason: str = ""
+    #: per-step wall-clock accounting from the runbook checkpoints; a
+    #: resumed failover reports the same durations as an uninterrupted
+    #: one because completed steps carry their persisted timing
+    step_durations: Dict[str, float] = field(default_factory=dict)
+    #: True when this report came from a resumed (crashed) runbook
+    resumed: bool = False
 
     @property
     def rto_seconds(self) -> float:
@@ -89,9 +96,17 @@ class FailoverManager:
     process."""
 
     def __init__(self, system: TwoSiteSystem,
-                 business_namespace: str = "order-processing") -> None:
+                 business_namespace: str = "order-processing",
+                 journal: Optional[RunbookJournal] = None,
+                 crash_after: Optional[str] = None) -> None:
+        """``journal`` is the durable checkpoint store; pass the same
+        journal to a new manager to resume a crashed failover.
+        ``crash_after`` kills the runbook right after the named step's
+        checkpoint (test hook for the resume-equivalence invariant)."""
         self.system = system
         self.business_namespace = business_namespace
+        self.journal = journal if journal is not None else RunbookJournal()
+        self.crash_after = crash_after
 
     # -- discovery (backup-site state only) --------------------------------
 
@@ -140,47 +155,78 @@ class FailoverManager:
         pvc→primary-volume map); recovery itself never reads them.
         Raises :class:`CollapsedBackupError` when the backup image
         admits no consistent recovery.
+
+        The procedure is a crash-restartable runbook: every
+        side-effecting step is checkpointed to the manager's journal, so
+        a manager that dies mid-failover can be replaced by a new one
+        holding the same journal — it resumes after the last completed
+        step, never re-driving the drain or the promotion.  Read-only
+        steps (measurement, database recovery and its 2PC resolution —
+        pure reads of the coordinator image — verification, reopen) are
+        volatile: they re-run on resume with identical results.
         """
         sim = self.system.sim
-        report = FailoverReport(started_at=sim.now)
+        runbook = Runbook(sim, f"failover/{self.business_namespace}",
+                          journal=self.journal,
+                          crash_after=self.crash_after)
+        report = FailoverReport(started_at=runbook.started_at)
+        report.resumed = runbook.resumed
         tracer = sim.telemetry.tracer
         recorder = sim.telemetry.recorder
         span = tracer.start("failover", namespace=self.business_namespace)
         recorder.record("failover", self.business_namespace,
-                        step="start")
-        secondary = self.discover_secondary_volumes()
+                        step="start", incarnation=runbook.state.incarnation)
+        secondary: Dict[str, int] = yield from runbook.step(
+            "discover", self.discover_secondary_volumes)
         missing = [pvc for pvc in PVC_LAYOUT if pvc not in secondary]
         if missing:
             raise FailoverError(
                 f"backup site has no secondary PVs for {missing}; was "
                 "the namespace protected?")
         backup_array = self.system.backup.array
+        groups = self._involved_groups(list(secondary.values()))
 
         # 2. stop restore, drain what already arrived
-        groups = self._involved_groups(list(secondary.values()))
-        for group in groups:
-            group.stop()
-        yield sim.timeout(0.010)  # let in-flight restore applies finish
-        for group in groups:
-            drained = yield from group.drain()
-            report.drained_entries += drained
+        def stop_step():
+            for group in groups:
+                group.stop()
+            yield sim.timeout(0.010)  # let in-flight applies finish
+
+        yield from runbook.step("stop", stop_step)
+
+        def drain_step():
+            total = 0
+            for group in groups:
+                drained = yield from group.drain()
+                total += drained
+            return total
+
+        report.drained_entries = yield from runbook.step("drain",
+                                                         drain_step)
         recorder.record("failover", self.business_namespace,
                         step="drained", entries=report.drained_entries)
 
         # 3. promote
-        for svol_id in secondary.values():
-            backup_array.promote_secondary(svol_id)
-        recorder.record("failover", self.business_namespace,
-                        step="promoted", volumes=len(secondary))
+        def promote_step():
+            for svol_id in secondary.values():
+                backup_array.promote_secondary(svol_id)
+            return len(secondary)
 
-        # measurement: storage-level cut check + RPO
-        if expected_history is not None and pvol_ids is not None:
+        promoted = yield from runbook.step("promote", promote_step)
+        recorder.record("failover", self.business_namespace,
+                        step="promoted", volumes=promoted)
+
+        # measurement: storage-level cut check + RPO (read-only)
+        def measure_step():
+            if expected_history is None or pvol_ids is None:
+                return
             pair_map = {pvol_ids[pvc]: backup_array.get_volume(svol_id)
                         for pvc, svol_id in secondary.items()}
             image = image_versions_from_volumes(pair_map)
             report.storage_report = check_storage_cut(expected_history,
                                                       image)
-            report.lost_acked_writes = report.storage_report.missing_count
+            report.lost_acked_writes = \
+                report.storage_report.missing_count
             if report.lost_acked_writes == 0:
                 report.rpo_seconds = 0.0
             elif report.storage_report.prefix_seq >= 0:
@@ -188,6 +234,8 @@ class FailoverManager:
                     report.storage_report.prefix_seq]
                 report.rpo_seconds = max(
                     0.0, report.started_at - newest.time)
+
+        yield from runbook.step("measure", measure_step, volatile=True)
 
         # 4. recover the databases from the promoted volumes
         def device(pvc_name: str) -> ArrayBlockDevice:
@@ -200,41 +248,50 @@ class FailoverManager:
         stock_image = DatabaseImage(wal_device=device("stock-wal"),
                                     data_device=device("stock-data"),
                                     bucket_count=bucket_count)
-        sales_recovered, stock_recovered = \
-            yield from recover_business_images(sim, sales_image,
-                                               stock_image)
+        sales_recovered, stock_recovered = yield from runbook.step(
+            "recover",
+            lambda: recover_business_images(sim, sales_image, stock_image),
+            volatile=True)
 
         # 5. verify business invariants
-        business = decode_business_state(sales_recovered.state,
-                                         stock_recovered.state)
-        report.business_report = check_business_invariants(business,
-                                                           catalog)
-        if expected_committed_gtids is not None:
-            recovered_gtids = set(business.orders)
-            lost = [gtid for gtid in expected_committed_gtids
-                    if gtid not in recovered_gtids]
-            report.lost_committed_orders = len(lost)
-            report.lost_gtids = lost
+        def verify_step():
+            business = decode_business_state(sales_recovered.state,
+                                             stock_recovered.state)
+            report.business_report = check_business_invariants(business,
+                                                               catalog)
+            if expected_committed_gtids is not None:
+                recovered_gtids = set(business.orders)
+                lost = [gtid for gtid in expected_committed_gtids
+                        if gtid not in recovered_gtids]
+                report.lost_committed_orders = len(lost)
+                report.lost_gtids = lost
+
+        yield from runbook.step("verify", verify_step, volatile=True)
         if not report.business_report.consistent:
             report.failure_reason = str(report.business_report)
             report.completed_at = sim.now
+            report.step_durations = runbook.step_durations()
             self._record_outcome(report, span, collapsed=True)
             raise CollapsedBackupError(
                 "backup image is not recoverable: "
                 f"{report.business_report}", )
 
         # 6. reopen databases and the application
-        sales_db = reopen_database(sim, "sales", sales_image.wal_device,
-                                   sales_image.data_device, bucket_count,
-                                   sales_recovered)
-        stock_db = reopen_database(sim, "stock", stock_image.wal_device,
-                                   stock_image.data_device, bucket_count,
-                                   stock_recovered)
-        # a fresh gtid epoch: the promoted incarnation must never reuse
-        # a pre-disaster global transaction id
-        app = EcommerceApp(sales_db, stock_db, catalog, epoch="bkup")
+        def reopen_step():
+            sales_db = reopen_database(
+                sim, "sales", sales_image.wal_device,
+                sales_image.data_device, bucket_count, sales_recovered)
+            stock_db = reopen_database(
+                sim, "stock", stock_image.wal_device,
+                stock_image.data_device, bucket_count, stock_recovered)
+            # a fresh gtid epoch: the promoted incarnation must never
+            # reuse a pre-disaster global transaction id
+            return EcommerceApp(sales_db, stock_db, catalog, epoch="bkup")
+
+        app = yield from runbook.step("reopen", reopen_step, volatile=True)
         report.completed_at = sim.now
         report.succeeded = True
+        report.step_durations = runbook.step_durations()
         self._record_outcome(report, span, collapsed=False)
         return PromotedBusiness(app=app, report=report)
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.csi.driver import HspcDriver
+from repro.csi.rpc import RpcChannel
 from repro.csi.replication_plugin import (ReplicationPluginContext,
                                           install_replication_plugin)
 from repro.csi.storage_plugin import install_storage_plugin
@@ -139,7 +140,9 @@ def build_system(sim: Simulator,
         link=network.forward, main_pool_id=main.pool_id,
         backup_pool_id=backup.pool_id, backup_api=backup.cluster.api,
         command_latency=config.command_latency,
-        adc_config=config.array.adc)
+        adc_config=config.array.adc,
+        rpc=RpcChannel(sim, latency=config.command_latency,
+                       name="main-mgmt"))
     install_replication_plugin(main.cluster, context)
     main.cluster.start()
     backup.cluster.start()

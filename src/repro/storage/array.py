@@ -210,6 +210,19 @@ class StorageArray:
         """True if the volume id is allocated on this array."""
         return volume_id in self._volumes
 
+    def find_volume_by_name(self, name: str) -> Optional[Volume]:
+        """Locate a volume by its name (None if absent).
+
+        Management clients that name their volumes deterministically use
+        this to re-discover a volume after an ambiguous RPC outcome — a
+        create that timed out may still have executed, and re-creating
+        would leak an orphan.
+        """
+        for volume_id in sorted(self._volumes):
+            if self._volumes[volume_id].name == name:
+                return self._volumes[volume_id]
+        return None
+
     def list_volumes(self) -> List[Volume]:
         """All volumes, id order."""
         return [self._volumes[i] for i in sorted(self._volumes)]

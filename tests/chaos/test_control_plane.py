@@ -1,0 +1,175 @@
+"""Control-plane chaos: fault catalog units and full campaigns.
+
+The data-plane campaigns prove the arrays survive broken links and
+corrupted wires; these prove the *orchestration* layer survives a dead
+API server, crashed controllers, severed watches and ambiguous CSI
+RPCs — and that afterwards every CR converges back to ``Paired`` with
+exactly one pair per volume (the reconcile-convergence and
+exactly-once-pairing invariants the engine now always checks).
+"""
+
+import pytest
+
+from repro.chaos import (ApiFlake, ApiServerOutage, ChaosEngine,
+                         ControllerCrash, CsiRpcFlake, FaultPlan,
+                         WatchDrop, build_chaos_environment, build_plan,
+                         run_campaign)
+from repro.chaos.plan import CONTROL, PRESETS
+from repro.errors import UnavailableError
+from repro.platform import Namespace
+
+
+class TestFaultCatalog:
+    def test_api_outage_is_fail_closed_and_heals(self):
+        env = build_chaos_environment(seed=5)
+        fault = ApiServerOutage(0.1, 0.2)
+        fault.inject(env)
+        api = env.system.main.cluster.api
+        ns = Namespace()
+        ns.meta.name = "blocked"
+        with pytest.raises(UnavailableError):
+            api.create(ns)
+        with pytest.raises(UnavailableError):
+            api.get(Namespace, "blocked")  # reads are down too
+        fault.heal(env)
+        assert api.try_get(Namespace, "blocked") is None  # nothing landed
+        api.create(ns)
+        assert api.get(Namespace, "blocked").meta.name == "blocked"
+
+    def test_api_flake_sets_and_clears_probabilities(self):
+        env = build_chaos_environment(seed=5)
+        fault = ApiFlake(0.1, 0.2, flake_probability=0.4,
+                         conflict_probability=0.2)
+        detail = fault.inject(env)
+        injector = env.system.main.cluster.api.chaos
+        assert injector.flake_probability == 0.4
+        assert injector.conflict_probability == 0.2
+        assert "40%" in detail
+        fault.heal(env)
+        assert injector.flake_probability == 0.0
+        assert injector.conflict_probability == 0.0
+
+    def test_api_flake_validates_probabilities(self):
+        with pytest.raises(ValueError):
+            ApiFlake(0.1, 0.2, flake_probability=1.5)
+        with pytest.raises(ValueError):
+            ApiFlake(0.1, 0.2, conflict_probability=-0.1)
+
+    def test_controller_crash_kills_and_restart_requeues(self):
+        env = build_chaos_environment(seed=5)
+        manager = env.system.main.cluster.manager
+        assert manager.controllers  # the operator + plugins are running
+        fault = ControllerCrash(0.1, 0.2)
+        fault.inject(env)
+        fault.heal(env)
+        assert all(controller.restart_count >= 1
+                   for controller in manager.controllers)
+
+    def test_csi_rpc_flake_arms_and_clears_the_injector(self):
+        env = build_chaos_environment(seed=5)
+        injector = env.system.replication_context.rpc.injector
+        fault = CsiRpcFlake(0.1, 0.2, timeout_probability=0.5,
+                            effect_probability=0.7)
+        fault.inject(env)
+        assert injector.timeout_probability == 0.5
+        assert injector.effect_probability == 0.7
+        fault.heal(env)
+        assert injector.timeout_probability == 0.0
+
+    def test_csi_rpc_flake_validates_probabilities(self):
+        with pytest.raises(ValueError):
+            CsiRpcFlake(0.1, 0.2, timeout_probability=2.0)
+
+    def test_watch_drop_is_a_point_event(self):
+        fault = WatchDrop(0.3, duration=5.0)
+        assert fault.duration == 0.0  # severing a stream is instantaneous
+        env = build_chaos_environment(seed=5)
+        detail = fault.inject(env)
+        assert "severed" in detail
+
+
+class TestControlPreset:
+    def test_plan_includes_every_required_kind(self):
+        env = build_chaos_environment(seed=13)
+        plan = build_plan(env.sim, CONTROL)
+        kinds = {fault.kind for fault in plan.faults}
+        assert set(CONTROL.required_kinds) <= kinds
+
+    def test_plan_is_seed_deterministic(self):
+        plans = []
+        for _ in range(2):
+            env = build_chaos_environment(seed=13)
+            plans.append(build_plan(env.sim, PRESETS["control"]))
+        assert plans[0].describe() == plans[1].describe()
+
+    def test_control_only_draws_control_kinds(self):
+        control_kinds = {kind for kind, _weight in CONTROL.kinds}
+        env = build_chaos_environment(seed=13)
+        plan = build_plan(env.sim, CONTROL)
+        assert {fault.kind for fault in plan.faults} <= control_kinds
+
+
+class TestControlCampaign:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_campaign(seed=7, preset="control")
+
+    def test_passes_end_to_end(self, report):
+        assert report.passed
+        assert report.violations == []
+        assert report.converged
+        assert report.final_entry_lag == 0
+
+    def test_failover_still_consistent_after_the_storm(self, report):
+        assert report.failover_checked
+        assert report.failover_consistent
+        assert report.lost_committed_orders == 0
+
+    def test_control_faults_actually_fired(self, report):
+        kinds = {event.kind for event in report.timeline}
+        assert set(CONTROL.required_kinds) <= kinds
+        assert report.counters["api_faults_injected_total"] >= 1
+        assert report.counters["controller_restarts_total"] >= 1
+
+    def test_business_made_progress_through_the_storm(self, report):
+        assert report.orders_completed > 0
+
+    def test_render_is_presentable(self, report):
+        text = report.render()
+        assert "chaos campaign 'control' seed=7: PASS" in text
+        assert "digest:" in text
+
+
+class TestControlAcceptance:
+    """Acceptance bar: the control campaign is green across >= 5 seeds
+    and every seed's report digest is reproducible bit for bit."""
+
+    SEEDS = (3, 7, 11, 19, 23)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_green_and_deterministic(self, seed):
+        first = run_campaign(seed=seed, preset="control",
+                             verify_failover=False)
+        second = run_campaign(seed=seed, preset="control",
+                              verify_failover=False)
+        assert first.passed, first.violations
+        assert first.digest == second.digest
+        assert first.timeline == second.timeline
+        assert first.counters == second.counters
+
+
+class TestConvergenceInvariants:
+    def test_engine_waits_for_cr_to_be_paired_again(self):
+        """An outage that spans the whole fault window still converges:
+        the engine's convergence gate now includes the control plane, so
+        a PASS certifies the CR returned to Paired."""
+        env = build_chaos_environment(seed=31)
+        plan = FaultPlan(
+            name="outage-only", fault_window=0.8, converge_timeout=5.0,
+            faults=(ApiServerOutage(0.05, 0.6),
+                    ControllerCrash(0.10, 0.5)))
+        report = ChaosEngine(env, plan).run(verify_failover=False)
+        assert report.passed, report.violations
+        names = {violation.invariant for violation in report.violations}
+        assert "reconcile-convergence" not in names
+        assert "exactly-once-pairing" not in names

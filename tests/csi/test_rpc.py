@@ -1,0 +1,219 @@
+"""Tests for the CSI management RPC transport: latency, deadlines,
+ambiguous outcomes, and probe-based recovery.
+
+The key property under test is exactly-once effects under ambiguity: a
+timeout whose command *did* land must never be blindly re-driven, and a
+timeout whose command did *not* land must be re-driven (or surfaced as
+``RpcTimeoutError`` so the level-triggered reconcile retries).
+"""
+
+import pytest
+
+from repro.csi import ConsistencyGroupReplication, STATE_PAIRED
+from repro.csi.rpc import CsiRpcInjector, RpcChannel
+from repro.errors import RpcTimeoutError
+from repro.simulation import Simulator
+from tests.csi.conftest import create_pvc
+
+
+class ScriptedInjector(CsiRpcInjector):
+    """Injector with a fixed verdict script instead of RNG draws.
+
+    Verdicts: ``None`` = healthy, ``True`` = timeout after the command
+    applied, ``False`` = timeout before it applied.  After the script
+    runs out every call is healthy.
+    """
+
+    def __init__(self, sim, verdicts):
+        super().__init__(sim)
+        self.verdicts = list(verdicts)
+
+    def draw(self):
+        if not self.verdicts:
+            return None
+        verdict = self.verdicts.pop(0)
+        if verdict is not None:
+            self.injected += 1
+        return verdict
+
+
+def drive(sim, generator):
+    process = sim.spawn(generator, name="rpc-under-test")
+    return sim.run_until_complete(process)
+
+
+class Command:
+    """A side-effecting array command with an observable effect."""
+
+    def __init__(self, value="effect"):
+        self.value = value
+        self.calls = 0
+        self.applied = False
+
+    def __call__(self):
+        self.calls += 1
+        self.applied = True
+        return self.value
+
+    def probe(self):
+        return self.value if self.applied else None
+
+
+class TestRpcChannel:
+    def test_healthy_call_pays_latency_and_returns_result(self):
+        sim = Simulator(seed=3)
+        channel = RpcChannel(sim, latency=0.050)
+        command = Command()
+        result = drive(sim, channel.call("create-pair", command))
+        assert result == "effect"
+        assert command.calls == 1
+        assert sim.now == pytest.approx(0.050)
+
+    def test_ambiguous_timeout_with_probe_never_redrives(self):
+        """Timeout *after* the effect landed: the probe observes it and
+        the channel must not run the command a second time."""
+        sim = Simulator(seed=3)
+        channel = RpcChannel(
+            sim, latency=0.010,
+            injector=ScriptedInjector(sim, [True]))
+        command = Command()
+        result = drive(sim, channel.call("create-pair", command,
+                                         probe=command.probe))
+        assert result == "effect"
+        assert command.calls == 1  # exactly once, despite the timeout
+
+    def test_unapplied_timeout_with_probe_is_redriven(self):
+        """Timeout *before* the effect landed: the probe sees nothing,
+        so the channel re-drives the command on the next attempt."""
+        sim = Simulator(seed=3)
+        channel = RpcChannel(
+            sim, latency=0.010,
+            injector=ScriptedInjector(sim, [False]))
+        command = Command()
+        result = drive(sim, channel.call("create-pair", command,
+                                         probe=command.probe))
+        assert result == "effect"
+        assert command.calls == 1
+        # two transport rounds were paid: the timed-out one + the retry
+        assert sim.now == pytest.approx(0.020)
+
+    def test_no_probe_raises_immediately(self):
+        """Callers without a probe cannot disambiguate — the timeout is
+        surfaced at once for the level-triggered reconcile to handle."""
+        sim = Simulator(seed=3)
+        channel = RpcChannel(
+            sim, latency=0.010,
+            injector=ScriptedInjector(sim, [True, None, None]))
+        command = Command()
+        with pytest.raises(RpcTimeoutError):
+            drive(sim, channel.call("create-pair", command))
+        # the effect applied on the array even though the caller saw an
+        # error — exactly the ambiguity idempotent reconciles absorb
+        assert command.applied
+        assert sim.now == pytest.approx(0.010)  # no retry rounds paid
+
+    def test_retry_budget_exhaustion_raises(self):
+        sim = Simulator(seed=3)
+        channel = RpcChannel(
+            sim, latency=0.010, retries=1,
+            injector=ScriptedInjector(sim, [False, False]))
+
+        def never_lands():
+            return None  # pretend the command keeps getting dropped
+
+        with pytest.raises(RpcTimeoutError):
+            drive(sim, channel.call("create-pair", never_lands,
+                                    probe=lambda: None))
+
+    def test_timeout_metric_is_labeled_by_step_and_outcome(self):
+        sim = Simulator(seed=3)
+        channel = RpcChannel(
+            sim, latency=0.010,
+            injector=ScriptedInjector(sim, [True, False]))
+        command = Command()
+        drive(sim, channel.call("create-pair", command,
+                                probe=command.probe))
+        drive(sim, channel.call("split-pair", command,
+                                probe=lambda: "split"))
+        registry = sim.telemetry.registry
+        assert registry.counter("repro_rpc_timeouts_total",
+                                step="create-pair",
+                                applied="true").value == 1
+        assert registry.counter("repro_rpc_timeouts_total",
+                                step="split-pair",
+                                applied="false").value == 1
+
+    def test_validation(self):
+        sim = Simulator(seed=3)
+        with pytest.raises(ValueError):
+            RpcChannel(sim, latency=-0.010)
+        with pytest.raises(ValueError):
+            RpcChannel(sim, retries=-1)
+
+
+class TestCsiRpcInjector:
+    def test_inert_by_default(self):
+        sim = Simulator(seed=3)
+        injector = CsiRpcInjector(sim)
+        assert all(injector.draw() is None for _ in range(50))
+        assert injector.injected == 0
+
+    def test_draws_are_seed_deterministic(self):
+        def sample(seed):
+            injector = CsiRpcInjector(Simulator(seed=seed))
+            injector.timeout_probability = 0.4
+            injector.effect_probability = 0.6
+            return [injector.draw() for _ in range(60)]
+
+        first, second = sample(17), sample(17)
+        assert first == second
+        assert sample(18) != first
+        # the fault mix actually exercises all three outcomes
+        assert {None, True, False} <= set(first)
+
+    def test_clear_stops_injection(self):
+        sim = Simulator(seed=3)
+        injector = CsiRpcInjector(sim)
+        injector.timeout_probability = 1.0
+        injector.effect_probability = 0.0
+        assert injector.draw() is False
+        injector.clear()
+        assert all(injector.draw() is None for _ in range(20))
+        assert injector.injected == 1  # history survives the heal
+
+
+class TestProvisioningUnderRpcFlakes:
+    def test_flaky_transport_still_pairs_exactly_once(self, sim, system):
+        """End-to-end: provisioning over a flaky transport converges to
+        the same exactly-once pairing as a healthy run — the plugin's
+        probes absorb every ambiguous timeout."""
+        injector = system.replication_context.rpc.injector
+        injector.timeout_probability = 0.35
+        injector.effect_probability = 0.6
+
+        system.main.cluster.create_namespace("shop")
+        for name in ("sales", "stock"):
+            create_pvc(system.main.cluster, "shop", name)
+        cr = ConsistencyGroupReplication()
+        cr.meta.name = "bp"
+        cr.meta.namespace = "shop"
+        cr.spec.pvc_names = ["sales", "stock"]
+        cr.spec.consistency_group = True
+        system.main.api.create(cr)
+        sim.run(until=8.0)
+        injector.clear()
+        sim.run(until=10.0)
+
+        cr = system.main.api.get(ConsistencyGroupReplication, "bp", "shop")
+        assert cr.status.state == STATE_PAIRED
+        group = system.main.array.journal_groups["jg-shop-bp"]
+        assert len(group.pairs) == 2
+        # every pvol appears in exactly one pair, and every secondary
+        # volume on the backup array is referenced by a pair — ambiguous
+        # retries never minted duplicates or orphans
+        svol_ids = {pair.svol.volume_id for pair in group.pairs.values()}
+        orphaned = [volume for volume in system.backup.array.list_volumes()
+                    if (volume.name or "").endswith("-svol")
+                    and volume.volume_id not in svol_ids]
+        assert orphaned == []
+        assert injector.injected > 0  # the storm actually hit the path

@@ -31,6 +31,29 @@ class TestProvisioning:
         pvc_named = [v for v in volumes if v.name.startswith("pvc-")]
         assert len(pvc_named) == 1
 
+    def test_half_bound_pv_is_adopted_not_reprovisioned(self, sim, system):
+        """A bind whose PVC update was lost (API flake / provisioner
+        crash between the two updates) leaves the PV Bound with a
+        claim_ref while the claim stays Pending.  The retry must adopt
+        that PV — re-provisioning would livelock on the PV name."""
+        cluster = system.main.cluster
+        cluster.create_namespace("shop")
+        create_pvc(cluster, "shop", "sales-data")
+        sim.run(until=1.0)
+        pvc = cluster.api.get(PersistentVolumeClaim, "sales-data", "shop")
+        pv_name = pvc.spec.volume_name
+        # rewind the claim half of the bind, as a flaked update would
+        pvc.spec.volume_name = ""
+        pvc.status.phase = "Pending"
+        cluster.api.update(pvc)
+        sim.run(until=2.5)
+        pvc = cluster.api.get(PersistentVolumeClaim, "sales-data", "shop")
+        assert pvc.bound
+        assert pvc.spec.volume_name == pv_name  # adopted, not re-made
+        volumes = [v for v in system.main.array.list_volumes()
+                   if v.name.startswith("pvc-")]
+        assert len(volumes) == 1
+
     def test_unknown_storage_class_waits(self, sim, system):
         system.main.cluster.create_namespace("shop")
         create_pvc(system.main.cluster, "shop", "odd",

@@ -5,8 +5,8 @@ import pytest
 
 from repro.errors import (AlreadyExistsError, ConflictError,
                           InvalidObjectError, NotFoundError)
-from repro.platform import (EventType, Namespace, PersistentVolumeClaim,
-                            Pod)
+from repro.platform import (WATCH_CLOSED, EventType, Namespace,
+                            PersistentVolumeClaim, Pod)
 from tests.platform.conftest import make_namespace, make_pod, make_pvc
 
 
@@ -123,6 +123,10 @@ class TestWatch:
         stream = api.watch(Namespace)
         stream.close()
         api.create(make_namespace("shop"))
+        # only the closure sentinel remains readable; the create after
+        # close was never delivered
+        ok, event = stream.try_next()
+        assert ok and event is WATCH_CLOSED
         assert len(stream) == 0
 
     def test_watch_event_object_is_snapshot(self, sim, api):

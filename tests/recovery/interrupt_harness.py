@@ -1,0 +1,125 @@
+"""Shared harness for the interrupted-failover equivalence invariant.
+
+Used by the acceptance tests (``tests/recovery/test_runbook.py``) and
+the CI control-plane smoke leg: build the standard protected business,
+inject the disaster, and run the failover either uninterrupted or
+killed at a chosen step boundary (``crash_after``) and resumed by a
+fresh manager holding the same runbook journal.
+
+The equivalence claim: a resumed failover produces byte-identical
+promoted volume images and identical per-step duration accounting to
+an uninterrupted run of the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.apps import issue_orders
+from repro.errors import RunbookInterrupted
+from repro.operator import (TAG_CONSISTENT, TAG_KEY,
+                            install_namespace_operator)
+from repro.recovery import (FailoverManager, FailoverReport,
+                            PromotedBusiness, RunbookJournal)
+from repro.scenarios import (BusinessConfig, build_system,
+                             deploy_business_process)
+from repro.simulation import Simulator
+from tests.csi.conftest import fast_system_config
+
+#: every step of the failover runbook, in execution order (kept in sync
+#: with FailoverManager.execute by test_runbook's coverage assertion)
+FAILOVER_STEPS = ("discover", "stop", "drain", "promote", "measure",
+                  "recover", "verify", "reopen")
+
+
+@dataclass
+class FailoverOutcome:
+    """One completed failover plus the evidence the invariant compares."""
+
+    report: FailoverReport
+    #: pvc name -> tuple of (block, version, payload) of the promoted
+    #: secondary volume — byte-identical images compare equal
+    images: Dict[str, Tuple]
+    promoted: PromotedBusiness
+
+
+def build_disaster(seed: int = 61, orders: int = 30):
+    """Protected business + committed orders + a main-site disaster."""
+    sim = Simulator(seed=seed)
+    system = build_system(sim, fast_system_config())
+    install_namespace_operator(system.main.cluster)
+    business = deploy_business_process(
+        system, BusinessConfig(wal_blocks=20_000))
+    system.main.console.tag_namespace(business.namespace, TAG_KEY,
+                                      TAG_CONSISTENT)
+    sim.run(until=sim.now + 4.0)  # initial copy settles
+    results = issue_orders(sim, business.app, orders)
+    assert all(result.accepted for result in results)
+    history = system.main.array.history
+    committed = list(business.app.coordinator.committed_gtids)
+    system.fail_main_site()
+    return sim, system, business, history, committed
+
+
+def snapshot_images(system, namespace: str) -> Dict[str, Tuple]:
+    """Promoted secondary images, keyed by pvc name."""
+    manager = FailoverManager(system, namespace)
+    mapping = manager.discover_secondary_volumes()
+    images: Dict[str, Tuple] = {}
+    for pvc_name in sorted(mapping):
+        volume = system.backup.array.get_volume(mapping[pvc_name])
+        images[pvc_name] = tuple(
+            (block, value.version, value.payload)
+            for block, value in sorted(volume.block_map().items()))
+    return images
+
+
+def _drive(sim, system, business, history, committed,
+           journal: RunbookJournal, crash_after=None) -> PromotedBusiness:
+    manager = FailoverManager(system, business.namespace,
+                              journal=journal, crash_after=crash_after)
+    manager.configure_buckets(business.config.bucket_count)
+    process = sim.spawn(manager.execute(
+        catalog=list(business.app.catalog.values()),
+        expected_history=history,
+        expected_committed_gtids=committed,
+        pvol_ids=business.volume_ids),
+        name="failover")
+    return sim.run_until_complete(process)
+
+
+def run_uninterrupted_failover(seed: int = 61,
+                               orders: int = 30) -> FailoverOutcome:
+    """The baseline: one manager drives the failover end to end."""
+    sim, system, business, history, committed = build_disaster(seed,
+                                                               orders)
+    promoted = _drive(sim, system, business, history, committed,
+                      RunbookJournal())
+    return FailoverOutcome(
+        report=promoted.report,
+        images=snapshot_images(system, business.namespace),
+        promoted=promoted)
+
+
+def run_interrupted_failover(seed: int = 61, crash_after: str = "promote",
+                             orders: int = 30) -> FailoverOutcome:
+    """Kill the manager right after ``crash_after``'s checkpoint, then
+    resume with a fresh manager holding the same journal."""
+    sim, system, business, history, committed = build_disaster(seed,
+                                                               orders)
+    journal = RunbookJournal()
+    try:
+        _drive(sim, system, business, history, committed, journal,
+               crash_after=crash_after)
+    except RunbookInterrupted as exc:
+        assert exc.step == crash_after
+    else:
+        raise AssertionError(
+            f"crash_after={crash_after!r} did not interrupt the runbook")
+    promoted = _drive(sim, system, business, history, committed, journal)
+    assert promoted.report.resumed
+    return FailoverOutcome(
+        report=promoted.report,
+        images=snapshot_images(system, business.namespace),
+        promoted=promoted)

@@ -69,6 +69,13 @@ class TestParser:
     def test_chaos_rejects_unknown_preset(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "--campaign", "gentle"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--preset", "gentle"])
+
+    def test_chaos_preset_argument(self):
+        args = build_parser().parse_args(["chaos", "--preset", "control"])
+        assert args.preset == "control"
+        assert build_parser().parse_args(["chaos"]).preset is None
 
 
 class TestCommands:
@@ -143,6 +150,13 @@ class TestCommands:
         assert "chaos campaign 'quick' seed=7: PASS" in serial
         assert "chaos campaign 'quick' seed=8: PASS" in serial
         assert "campaigns: 2/2 passed" in serial
+
+    def test_chaos_control_preset_runs_and_passes(self, capsys):
+        assert main(["chaos", "--preset", "control", "--seed", "7",
+                     "--no-failover"]) == 0
+        output = capsys.readouterr().out
+        assert "chaos campaign 'control' seed=7: PASS" in output
+        assert "invariant violations: none" in output
 
     def test_chaos_rejects_nonpositive_seeds(self):
         with pytest.raises(SystemExit):
