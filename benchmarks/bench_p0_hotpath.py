@@ -23,6 +23,8 @@ EXPECTED_METRICS = {
     "restore_drain": True,
     "host_write_e2e": True,
     "e1_cell": False,
+    "transfer_drain": True,
+    "initial_copy": True,
 }
 
 

@@ -17,7 +17,14 @@ Unlike E1–E8 (which assert *simulated* behaviour), this suite measures
   writes per wall second — the paper's "no impact on business
   processing" claim lives or dies on this path;
 * ``e1_cell`` — wall seconds for one E1 scenario cell (full business
-  stack), the macro guard that micro wins actually reach the workload.
+  stack), the macro guard that micro wins actually reach the workload;
+* ``transfer_drain`` / ``initial_copy`` — **simulated-time** drain
+  rates of the wire path on a latency+bandwidth-bound link: how fast
+  the pipelined transfer window empties a pre-filled main journal, and
+  how fast the delta-negotiated SDC bulk copy re-copies a 10%-dirty
+  volume.  Simulated rates are fully deterministic (same value every
+  run on every machine), so the regression gate is exact for them; they
+  move when the *wire protocol* changes, not when the host gets slower.
 
 ``run_perf`` returns the usual ``(table, facts)`` pair; the facts dict
 carries a ``metrics`` sub-dict with explicit ``higher_is_better``
@@ -46,10 +53,12 @@ Facts = Dict[str, object]
 _SIZES = {
     "full": dict(journal_entries=300_000, kernel_events=300_000,
                  restore_entries=12_000, host_writes=200_000,
-                 e1_duration=0.5),
+                 e1_duration=0.5, transfer_entries=40_000,
+                 copy_blocks=4_096),
     "quick": dict(journal_entries=100_000, kernel_events=100_000,
                   restore_entries=4_000, host_writes=60_000,
-                  e1_duration=0.25),
+                  e1_duration=0.25, transfer_entries=8_000,
+                  copy_blocks=1_024),
 }
 
 
@@ -246,6 +255,113 @@ def bench_host_write_e2e(writes: int, volumes: int = 2,
     return writes / elapsed
 
 
+def bench_transfer_drain(entries: int, window: int = 8) -> float:
+    """Pipelined wire-path drain rate in entries per **simulated** s.
+
+    A pre-filled main journal drains over a 10 ms / 200 MB/s link with
+    ``window`` batches in flight and adaptive batch sizing on.  The
+    clock is simulated time, so the value is deterministic: it moves
+    when the transfer protocol changes (batching, pipelining, window
+    management), never when the host machine does.  ``window=1``
+    reproduces the old stop-and-wait behaviour for comparison.
+    """
+    from repro.simulation.kernel import Simulator
+    from repro.simulation.network import NetworkLink
+    from repro.storage.adc import AdcConfig
+    from repro.storage.array import ArrayConfig, StorageArray
+
+    sim = Simulator(seed=11)
+    _disable_tracing(sim)
+    adc = AdcConfig(transfer_interval=0.0005, transfer_batch=512,
+                    transfer_window=window, adaptive_batch=True,
+                    transfer_batch_min=256, transfer_batch_max=4096,
+                    transfer_batch_step=256,
+                    restore_interval=0.0005, restore_batch=4096,
+                    restore_concurrency=8, interval_jitter=0.0)
+    config = ArrayConfig(adc=adc)
+    main = StorageArray(sim, serial="PERF-XFRM", config=config)
+    backup = StorageArray(sim, serial="PERF-XFRB", config=config)
+    main_pool = main.create_pool(10_000_000)
+    backup_pool = backup.create_pool(10_000_000)
+    link = NetworkLink(sim, latency=0.010,
+                       bandwidth_bytes_per_s=200e6, name="perf-wan")
+    main_journal = main.create_journal(main_pool.pool_id, entries + 10)
+    backup_journal = backup.create_journal(backup_pool.pool_id,
+                                           entries + 10)
+    main.create_journal_group("perf-xfr", main_journal.journal_id,
+                              backup, backup_journal.journal_id, link)
+    group = main.journal_groups["perf-xfr"]
+    group.stop()
+    pvol = main.create_volume(main_pool.pool_id, 4096)
+    svol = backup.create_volume(backup_pool.pool_id, 4096)
+    main.create_async_pair("perf-xfr-0", "perf-xfr", pvol.volume_id,
+                           backup, svol.volume_id)
+    payload = b"\x42" * 128
+
+    def writer(sim):
+        for first in range(0, entries, 256):
+            count = min(256, entries - first)
+            yield from main.host_write_many(
+                [(pvol.volume_id, (first + offset) % 1024, payload)
+                 for offset in range(count)])
+
+    sim.run_until_complete(sim.spawn(writer(sim), name="perf-xfr-writer"))
+    assert len(group.main_journal) == entries
+    group.restart()
+    started = sim.now
+    # the main journal is trimmed only after the backup site ingested a
+    # batch, so "main journal empty" means every entry crossed the wire
+    while len(group.main_journal):
+        sim.run(until=sim.now + 0.001)
+    elapsed = sim.now - started
+    return entries / elapsed
+
+
+def bench_initial_copy(blocks: int) -> float:
+    """Delta-negotiated bulk re-copy rate in blocks per **simulated** s.
+
+    A fully copied synchronous pair gets 10% of its blocks rewritten at
+    the primary, then ``initial_copy`` runs again: the per-block
+    ``(version, crc32)`` negotiation must skip the 90% the secondary
+    already holds and ship the stale 10% in batched payload transfers.
+    Simulated time, so deterministic; also asserts the re-copy moved at
+    least 5x fewer wire bytes than a full copy would.
+    """
+    from repro.simulation.kernel import Simulator
+    from repro.simulation.network import NetworkLink
+    from repro.storage.array import ArrayConfig, StorageArray
+
+    sim = Simulator(seed=13)
+    _disable_tracing(sim)
+    main = StorageArray(sim, serial="PERF-SDCM", config=ArrayConfig())
+    backup = StorageArray(sim, serial="PERF-SDCB", config=ArrayConfig())
+    main_pool = main.create_pool(10_000_000)
+    backup_pool = backup.create_pool(10_000_000)
+    link = NetworkLink(sim, latency=0.005,
+                       bandwidth_bytes_per_s=500e6, name="perf-sdc-wan")
+    pvol = main.create_volume(main_pool.pool_id, blocks)
+    svol = backup.create_volume(backup_pool.pool_id, blocks)
+    for block in range(blocks):
+        pvol.install_block(block, b"\x6b" * 128)
+    mirror = main.create_sync_mirror("perf-sdc", link)
+    pair = main.create_sync_pair("perf-sdc-0", "perf-sdc",
+                                 pvol.volume_id, backup, svol.volume_id)
+    while not pair.initial_copy_done:
+        sim.run(until=sim.now + 0.05)
+    for block in range(0, blocks, 10):
+        pvol.install_block(block, b"\x7c" * 128)
+    bytes_before = link.bytes_transferred
+    started = sim.now
+    sim.run_until_complete(
+        sim.spawn(mirror.initial_copy("perf-sdc-0"),
+                  name="perf-sdc-recopy"))
+    elapsed = sim.now - started
+    delta_bytes = link.bytes_transferred - bytes_before
+    full_bytes = blocks * mirror.config.block_size_bytes
+    assert delta_bytes * 5 <= full_bytes, (delta_bytes, full_bytes)
+    return blocks / elapsed
+
+
 def bench_e1_cell(duration: float) -> float:
     """Wall seconds for one E1 scenario cell (lower is better)."""
     from repro.apps import WorkloadConfig, run_order_workload
@@ -275,6 +391,8 @@ _SUITE = (
     ("restore_drain", "restore_entries", "entries/s", True),
     ("host_write_e2e", "host_writes", "writes/s", True),
     ("e1_cell", "e1_duration", "seconds", False),
+    ("transfer_drain", "transfer_entries", "entries/sim-s", True),
+    ("initial_copy", "copy_blocks", "blocks/sim-s", True),
 )
 
 _BENCH_FNS = {
@@ -284,6 +402,8 @@ _BENCH_FNS = {
     "restore_drain": bench_restore_drain,
     "host_write_e2e": bench_host_write_e2e,
     "e1_cell": bench_e1_cell,
+    "transfer_drain": bench_transfer_drain,
+    "initial_copy": bench_initial_copy,
 }
 
 
@@ -335,6 +455,8 @@ def run_perf(quick: bool = False, jobs: int = 1) -> Tuple[Table, Facts]:
                       "higher" if metric["higher_is_better"] else "lower")
     table.note("wall-clock measurements; compare ratios against a "
                "baseline from the same machine class, not absolutes")
+    table.note("transfer_drain and initial_copy are simulated-time "
+               "rates: deterministic and machine-independent")
     facts: Facts = {"mode": mode, "metrics": metrics}
     return table, facts
 

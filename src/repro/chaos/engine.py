@@ -622,22 +622,29 @@ def run_incident(seed: int = 7, verify_failover: bool = False,
     return IncidentRun(report=report, incident=incident, engine=engine)
 
 
-def _campaign_cell(cell: Tuple[int, str, bool]) -> ChaosReport:
+def _campaign_cell(cell: Tuple[int, str, bool, Optional[dict]],
+                   ) -> ChaosReport:
     """One seeded campaign (a :class:`ParallelRunner` cell)."""
-    seed, preset, verify_failover = cell
+    seed, preset, verify_failover, adc_overrides = cell
     return run_campaign(seed=seed, preset=preset,
-                        verify_failover=verify_failover)
+                        verify_failover=verify_failover,
+                        adc_overrides=adc_overrides)
 
 
 def run_campaigns(seeds: Sequence[int], preset: str = "quick",
                   verify_failover: bool = True,
-                  jobs: int = 1) -> List[ChaosReport]:
+                  jobs: int = 1,
+                  adc_overrides: Optional[dict] = None,
+                  ) -> List[ChaosReport]:
     """One campaign per seed, optionally sharded across processes.
 
     Reports come back in ``seeds`` order regardless of ``jobs`` and
     each campaign is fully seed-deterministic (every campaign builds
     its own simulator; :class:`ChaosReport` is plain picklable data),
     so a parallel soak renders byte-identically to a serial one.
+    ``adc_overrides`` reconfigures the replication engine under test in
+    every cell, e.g. ``dict(transfer_window=4)`` to soak the pipelined
+    transfer path.
     """
     from repro.bench.parallel import ParallelRunner
 
@@ -645,5 +652,6 @@ def run_campaigns(seeds: Sequence[int], preset: str = "quick",
         raise ValueError(
             f"unknown campaign preset {preset!r}; "
             f"choose from {sorted(PRESETS)}")
-    cells = [(seed, preset, verify_failover) for seed in seeds]
+    cells = [(seed, preset, verify_failover, adc_overrides)
+             for seed in seeds]
     return ParallelRunner(jobs).map(_campaign_cell, cells)

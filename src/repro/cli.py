@@ -130,10 +130,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     preset = args.preset or ("soak" if args.soak else args.campaign)
     if args.seeds < 1:
         raise SystemExit(f"repro: --seeds must be >= 1 (got {args.seeds})")
+    if args.transfer_window < 1:
+        raise SystemExit("repro: --transfer-window must be >= 1 "
+                         f"(got {args.transfer_window})")
     seeds = list(range(args.seed, args.seed + args.seeds))
+    adc_overrides = (dict(transfer_window=args.transfer_window)
+                     if args.transfer_window > 1 else None)
     reports = run_campaigns(seeds, preset=preset,
                             verify_failover=not args.no_failover,
-                            jobs=args.jobs)
+                            jobs=args.jobs,
+                            adc_overrides=adc_overrides)
     for index, report in enumerate(reports):
         if index:
             print()
@@ -301,6 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-failover", action="store_true",
                        help="skip the final fail-and-recover "
                             "consistency verification")
+    chaos.add_argument("--transfer-window", type=int, default=1,
+                       metavar="N",
+                       help="run the campaigns with N transfer batches "
+                            "in flight (pipelined inter-site transfer; "
+                            "default 1 = stop-and-wait)")
     chaos.set_defaults(func=_cmd_chaos)
 
     slo = sub.add_parser(

@@ -9,7 +9,11 @@ axis most experiments sweep.
 
 * fixed propagation latency,
 * optional bandwidth (bytes/second) producing size-dependent serialisation
-  delay and FIFO queueing on the sender side,
+  delay and an explicit shared FIFO serialisation queue on the sender
+  side: concurrent transfers (the pipelined ADC window keeps several in
+  flight) contend for one wire in arrival order instead of each seeing
+  the full pipe — :attr:`NetworkLink.queue_depth` and
+  :attr:`NetworkLink.peak_queue_depth` expose the contention,
 * optional uniform jitter on the propagation latency — arrival times are
   clamped to be monotone per link, so jitter never reorders transfers
   (the wire is FIFO),
@@ -101,6 +105,24 @@ class NetworkLink:
         self.transfer_count = 0
         #: transfers dropped while degraded
         self.transfers_dropped = 0
+        #: deepest the serialisation queue ever got (transfers holding
+        #: or waiting for the wire at once); 0 on a latency-only link
+        self.peak_queue_depth = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Transfers currently holding or queued for the serialisation
+        stage of the shared wire (0 on a latency-only link).
+
+        The queue is strictly FIFO: :class:`~repro.simulation.resources.
+        Lock` wakes waiters in arrival order, so transfer N+1 never
+        starts serialising — and therefore never arrives — before
+        transfer N.
+        """
+        if self.bandwidth is None:
+            return 0
+        return self._serialiser.queue_length + \
+            (1 if self._serialiser.locked else 0)
 
     @property
     def is_up(self) -> bool:
@@ -193,6 +215,9 @@ class NetworkLink:
             raise LinkDownError(f"{self.name} is down")
         start = self.sim.now
         if self.bandwidth is not None and payload_bytes > 0:
+            depth = self.queue_depth + 1  # this transfer joins the queue
+            if depth > self.peak_queue_depth:
+                self.peak_queue_depth = depth
             yield self._serialiser.acquire()
             try:
                 yield from self._interruptible_wait(

@@ -9,7 +9,12 @@ array and a backup array:
 * the **transfer** process wakes periodically (with jitter, so distinct
   groups drift apart exactly like independent links in a real system),
   ships a batch of entries over the inter-site link, and ingests them
-  into the backup journal volume;
+  into the backup journal volume; with ``transfer_window > 1`` it
+  *pipelines* — several batches ride the link concurrently (FIFO on the
+  shared-bandwidth wire) while receive-side ingest stays strictly in
+  sequence order, and ``adaptive_batch`` grows/shrinks the batch
+  AIMD-style between configured bounds from the journal backlog and the
+  observed drain rate;
 * the **restore** process applies ingested entries to the secondary
   volumes *in sequence order*, pausing at entry boundaries whenever the
   restore gate is closed (snapshot-group quiesce).
@@ -38,8 +43,10 @@ ranges once the link is healthy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, Generator, List, Optional
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Callable, Deque, Dict, Generator, List,
+                    Optional, Tuple)
 
 from repro.errors import ReplicationError
 from repro.simulation.network import LinkDownError, NetworkLink
@@ -66,6 +73,26 @@ class AdcConfig:
 
     transfer_interval: float = 0.005
     transfer_batch: int = 512
+    #: transfer batches kept in flight concurrently.  1 is the classic
+    #: stop-and-wait loop (ship a batch, wait out the full link RTT,
+    #: sleep, repeat); >1 pipelines: while batch N propagates, batches
+    #: N+1.. serialise behind it on the link's FIFO wire, hiding the
+    #: propagation latency.  Receive-side ingest stays strictly
+    #: in-order (shipments complete FIFO and are ingested head-first),
+    #: so coalesce/quarantine/trim semantics are unchanged.
+    transfer_window: int = 1
+    #: AIMD batch sizing: grow the transfer batch additively while the
+    #: journal backlog keeps batches full and the wire drains them
+    #: under ``batch_target_time``; halve it when a shipment fails or
+    #: the observed drain time blows past twice the target.  Off by
+    #: default (fixed ``transfer_batch``).
+    adaptive_batch: bool = False
+    #: adaptive-batch bounds and additive-increase step
+    transfer_batch_min: int = 64
+    transfer_batch_max: int = 8192
+    transfer_batch_step: int = 64
+    #: desired simulated wire time per shipped batch (drives AIMD)
+    batch_target_time: float = 0.01
     restore_interval: float = 0.002
     restore_batch: int = 512
     interval_jitter: float = 0.5
@@ -109,6 +136,17 @@ class AdcConfig:
             raise ValueError("intervals must be > 0")
         if self.transfer_batch < 1 or self.restore_batch < 1:
             raise ValueError("batch sizes must be >= 1")
+        if self.transfer_window < 1:
+            raise ValueError("transfer_window must be >= 1")
+        if self.transfer_batch_min < 1:
+            raise ValueError("transfer_batch_min must be >= 1")
+        if self.transfer_batch_max < self.transfer_batch_min:
+            raise ValueError(
+                "transfer_batch_max must be >= transfer_batch_min")
+        if self.transfer_batch_step < 1:
+            raise ValueError("transfer_batch_step must be >= 1")
+        if self.batch_target_time <= 0:
+            raise ValueError("batch_target_time must be > 0")
         if self.restore_concurrency < 1:
             raise ValueError("restore_concurrency must be >= 1")
         if not 0 <= self.interval_jitter < 1:
@@ -121,6 +159,31 @@ class AdcConfig:
             raise ValueError("repair_delay must be > 0")
         if self.repair_max_attempts < 1:
             raise ValueError("repair_max_attempts must be >= 1")
+
+
+@dataclass
+class _Shipment:
+    """One in-flight transfer batch of the pipelined loop.
+
+    ``batch`` is the peeked journal window, ``ship`` the coalesced
+    subset actually crossing the wire, ``survivor`` the coalesce map
+    (None when coalescing is off).  The shipment's transfer runs in its
+    own process (``proc``); a link failure mid-flight lands in
+    ``error`` instead of propagating, so the loop can join shipments
+    strictly head-first and keep the receive side in sequence order.
+    """
+
+    batch: List[JournalEntry]
+    ship: List[JournalEntry]
+    survivor: Optional[Dict[Tuple[int, int], int]]
+    payload_bytes: int
+    span: Optional[Span] = None
+    proc: object = None
+    error: Optional[BaseException] = field(default=None)
+    #: launch instant and whether the batch filled the current batch
+    #: size (AIMD growth requires full batches)
+    shipped_at: float = 0.0
+    full: bool = False
 
 
 class JournalGroup:
@@ -166,6 +229,16 @@ class JournalGroup:
         #: simulated time of the last lag-gauge sample (bounds the idle
         #: sampling cadence of the transfer loop)
         self._lag_sampled_at = float("-inf")
+        #: current transfer batch size; fixed at ``transfer_batch``, or
+        #: AIMD-adjusted between the configured bounds when
+        #: ``adaptive_batch`` is on
+        adc = self.config
+        if adc.adaptive_batch:
+            self._batch_size = min(adc.transfer_batch_max,
+                                   max(adc.transfer_batch_min,
+                                       adc.transfer_batch))
+        else:
+            self._batch_size = adc.transfer_batch
         # -- observability ---------------------------------------------------
         # instruments live in the simulation's metrics registry, keyed
         # by group; the attributes below are the same objects the
@@ -219,6 +292,18 @@ class JournalGroup:
             "repro_repair_resyncs_total",
             help="Automated targeted resyncs driven by integrity repair",
             group=group_id)
+        self.batch_size_gauge = registry.gauge(
+            "repro_transfer_batch_size",
+            help="Transfer batch size currently in use (AIMD-adaptive "
+                 "between the configured bounds when adaptive_batch is "
+                 "on)", unit="entries", group=group_id)
+        self.copy_skipped = registry.counter(
+            "repro_copy_skipped_blocks_total",
+            help="Resync blocks whose (version, crc32) negotiation "
+                 "proved the secondary current — they never crossed "
+                 "the wire", group=group_id)
+        if adc.adaptive_batch:
+            self.batch_size_gauge.sample(sim.now, self._batch_size)
 
     # -- pair management ------------------------------------------------------
 
@@ -504,6 +589,12 @@ class JournalGroup:
                     value = pair.pvol.peek(block)
                     if value is None:
                         continue
+                    if pair.secondary_current(block, value.version):
+                        # delta negotiation: the secondary already
+                        # holds this content at the same (or newer)
+                        # version, so it never re-crosses the wire
+                        self.copy_skipped.increment()
+                        continue
                     if self.config.journal_append_latency > 0:
                         yield self.sim.timeout(
                             self.config.journal_append_latency)
@@ -579,6 +670,129 @@ class JournalGroup:
             f"jg.{self.group_id}.{stream}", base, self.config.interval_jitter)
 
     def _transfer_loop(self) -> Generator[object, object, None]:
+        if self.config.transfer_window > 1:
+            yield from self._transfer_loop_windowed()
+        else:
+            yield from self._transfer_loop_serial()
+
+    @staticmethod
+    def _coalesce_batch(batch: List[JournalEntry],
+                        ) -> Tuple[List[JournalEntry],
+                                   Dict[Tuple[int, int], int]]:
+        """Last-writer-wins within one batch: superseded same-address
+        entries never cross the wire.
+
+        Returns ``(ship, survivor)``: the entries to ship and a map of
+        each ``(volume_id, block)`` address to the sequence of its
+        newest entry in the batch.  The survivor is by construction the
+        newest write of its address, so trimming a superseded entry is
+        safe exactly when its survivor has been consumed; the batch
+        tail always survives, so the restored cut still advances to
+        the window's high sequence.
+        """
+        survivor: Dict[Tuple[int, int], int] = {}
+        for entry in batch:
+            survivor[(entry.volume_id, entry.block)] = entry.sequence
+        ship = [entry for entry in batch
+                if survivor[(entry.volume_id, entry.block)]
+                == entry.sequence]
+        return ship, survivor
+
+    def _adapt_batch(self, ok: bool, full: bool, drain_time: float,
+                     backlog: int) -> None:
+        """AIMD transfer-batch sizing (no-op unless ``adaptive_batch``).
+
+        Additive increase: while the journal backlog keeps batches full
+        and the observed per-batch drain time stays under
+        ``batch_target_time``, grow by ``transfer_batch_step`` up to
+        ``transfer_batch_max``.  Multiplicative decrease: a failed
+        shipment, or a drain time beyond twice the target (the link is
+        slower than the batch assumes), halves the batch down to
+        ``transfer_batch_min``.
+        """
+        config = self.config
+        if not config.adaptive_batch:
+            return
+        size = self._batch_size
+        if not ok or drain_time > 2 * config.batch_target_time:
+            size = max(config.transfer_batch_min, size // 2)
+        elif full and backlog > 0 and \
+                drain_time < config.batch_target_time:
+            size = min(config.transfer_batch_max,
+                       size + config.transfer_batch_step)
+        if size != self._batch_size:
+            self._batch_size = size
+            self.batch_size_gauge.sample(self.sim.now, size)
+
+    def _receive_batch(self, batch: List[JournalEntry],
+                       ship: List[JournalEntry],
+                       survivor: Optional[Dict[Tuple[int, int], int]],
+                       batch_span: Optional[Span]) -> str:
+        """Receive-side ingest of one transferred batch.
+
+        Verifies each entry's CRC32 (quarantining on mismatch), ingests
+        into the backup journal, trims the delivered prefix off the
+        main journal, and bumps the transfer counters.  Runs entirely
+        at one simulated instant (no yields), so the stop-and-wait and
+        pipelined loops share it without perturbing event order.
+        Returns the batch status: ``"ok"``, ``"integrity"`` or
+        ``"backup-full"``.
+        """
+        consumed = set()  # sequences ingested or quarantined
+        last_ingested = -1
+        delivered_count = 0
+        delivered_bytes = 0
+        status = "ok"
+        injector = self._wire_injector
+        verify = self.config.verify_integrity
+        backup_ingest = self.backup_journal.ingest
+        for entry in ship:
+            wired = injector(entry) if injector is not None else entry
+            if verify and not wired.verify_checksum():
+                # corruption picked up on the wire: quarantine the
+                # entry at the receive side — it must never be
+                # ingested — and suspend for a targeted repair
+                consumed.add(entry.sequence)
+                self._quarantine_entry(wired, where="wire")
+                status = "integrity"
+                break
+            try:
+                backup_ingest(wired)
+            except JournalFullError:
+                self._suspend(PairState.PSUE, "backup journal full")
+                status = "backup-full"
+                break
+            consumed.add(entry.sequence)
+            last_ingested = entry.sequence
+            delivered_count += 1
+            delivered_bytes += entry.size_bytes
+        # trim the longest batch prefix in which every entry was
+        # consumed directly or superseded by a consumed survivor;
+        # the rest stays journaled and re-ships after the
+        # suspension heals
+        delivered = -1
+        for entry in batch:
+            key = entry.sequence if survivor is None \
+                else survivor[(entry.volume_id, entry.block)]
+            if key not in consumed:
+                break
+            delivered = entry.sequence
+        if delivered >= 0:
+            self.main_journal.pop_through(delivered)
+        if delivered_count:
+            self.transferred_sequence = max(self.transferred_sequence,
+                                            last_ingested)
+            self.transferred_count.increment(delivered_count)
+            self.transfer_bytes.increment(delivered_bytes)
+        if status == "ok":
+            self.transfer_batches.increment()
+        if batch_span is not None:
+            self.tracer.finish(batch_span, status=status)
+        return status
+
+    def _transfer_loop_serial(self) -> Generator[object, object, None]:
+        """Stop-and-wait wire path (``transfer_window=1``): ship one
+        batch, wait out its full link delay, sleep, repeat."""
         config = self.config
         while self._running:
             yield self.sim.timeout(
@@ -589,7 +803,7 @@ class JournalGroup:
                 return
             if self.suspended or not self.link.is_up:
                 continue
-            batch = self.main_journal.peek_batch(config.transfer_batch) \
+            batch = self.main_journal.peek_batch(self._batch_size) \
                 if len(self.main_journal) else []
             if not batch:
                 # idle: keep the lag gauges fresh, but at a bounded
@@ -600,18 +814,7 @@ class JournalGroup:
                     self._sample_lag()
                 continue
             if config.coalesce_overwrites and len(batch) > 1:
-                # last-writer-wins within the batch: superseded
-                # same-address entries never cross the wire.  The
-                # survivor is by construction the newest write of its
-                # address, so trimming a superseded entry is safe
-                # exactly when its survivor has been consumed.
-                survivor: Optional[Dict[tuple, int]] = {}
-                for entry in batch:
-                    survivor[(entry.volume_id, entry.block)] = \
-                        entry.sequence
-                ship = [entry for entry in batch
-                        if survivor[(entry.volume_id, entry.block)]
-                        == entry.sequence]
+                ship, survivor = self._coalesce_batch(batch)
                 if len(ship) < len(batch):
                     self.coalesced_count.increment(len(batch) - len(ship))
             else:
@@ -627,62 +830,137 @@ class JournalGroup:
                     coalesced=len(batch) - len(ship),
                     first_sequence=ship[0].sequence,
                     last_sequence=ship[-1].sequence)
+            full = len(batch) >= self._batch_size
+            shipped_at = self.sim.now
             try:
                 yield from self.link.transfer(payload_bytes)
             except LinkDownError:
                 if batch_span is not None:
                     tracer.finish(batch_span, status="link-down")
+                self._adapt_batch(False, full, self.sim.now - shipped_at,
+                                  len(self.main_journal))
                 continue  # entries stay journaled; retried next wake-up
-            consumed = set()  # sequences ingested or quarantined
-            last_ingested = -1
-            delivered_count = 0
-            delivered_bytes = 0
-            status = "ok"
-            injector = self._wire_injector
-            verify = config.verify_integrity
-            backup_ingest = self.backup_journal.ingest
-            for entry in ship:
-                wired = injector(entry) if injector is not None else entry
-                if verify and not wired.verify_checksum():
-                    # corruption picked up on the wire: quarantine the
-                    # entry at the receive side — it must never be
-                    # ingested — and suspend for a targeted repair
-                    consumed.add(entry.sequence)
-                    self._quarantine_entry(wired, where="wire")
-                    status = "integrity"
-                    break
-                try:
-                    backup_ingest(wired)
-                except JournalFullError:
-                    self._suspend(PairState.PSUE, "backup journal full")
-                    status = "backup-full"
-                    break
-                consumed.add(entry.sequence)
-                last_ingested = entry.sequence
-                delivered_count += 1
-                delivered_bytes += entry.size_bytes
-            # trim the longest batch prefix in which every entry was
-            # consumed directly or superseded by a consumed survivor;
-            # the rest stays journaled and re-ships after the
-            # suspension heals
-            delivered = -1
-            for entry in batch:
-                key = entry.sequence if survivor is None \
-                    else survivor[(entry.volume_id, entry.block)]
-                if key not in consumed:
-                    break
-                delivered = entry.sequence
-            if delivered >= 0:
-                self.main_journal.pop_through(delivered)
-            if delivered_count:
-                self.transferred_sequence = max(self.transferred_sequence,
-                                                last_ingested)
-                self.transferred_count.increment(delivered_count)
-                self.transfer_bytes.increment(delivered_bytes)
-            if status == "ok":
-                self.transfer_batches.increment()
-            if batch_span is not None:
-                tracer.finish(batch_span, status=status)
+            status = self._receive_batch(batch, ship, survivor, batch_span)
+            self._adapt_batch(status == "ok", full,
+                              self.sim.now - shipped_at,
+                              len(self.main_journal))
+            self._sample_lag()
+
+    def _ship(self, shipment: _Shipment,
+              ) -> Generator[object, object, None]:
+        """One in-flight shipment's wire transfer (its own process).
+
+        A link failure mid-flight is captured on the shipment instead
+        of propagating, so the pipelined loop can join shipments
+        head-first and decide what the failure voids.
+        """
+        try:
+            yield from self.link.transfer(shipment.payload_bytes)
+        except LinkDownError as exc:
+            shipment.error = exc
+
+    def _launch_shipment(self, batch: List[JournalEntry]) -> _Shipment:
+        """Coalesce, trace and launch one batch onto the wire."""
+        if self.config.coalesce_overwrites and len(batch) > 1:
+            ship, survivor = self._coalesce_batch(batch)
+            if len(ship) < len(batch):
+                self.coalesced_count.increment(len(batch) - len(ship))
+        else:
+            ship, survivor = batch, None
+        payload_bytes = sum(entry.size_bytes for entry in ship)
+        span = None
+        tracer = self.tracer
+        if tracer.enabled:
+            span = tracer.start(
+                "transfer-batch", group=self.group_id,
+                entries=len(ship), bytes=payload_bytes,
+                coalesced=len(batch) - len(ship),
+                first_sequence=ship[0].sequence,
+                last_sequence=ship[-1].sequence)
+        shipment = _Shipment(
+            batch=batch, ship=ship, survivor=survivor,
+            payload_bytes=payload_bytes, span=span,
+            shipped_at=self.sim.now,
+            full=len(batch) >= self._batch_size)
+        shipment.proc = self.sim.spawn(
+            self._ship(shipment),
+            name=f"jg-{self.group_id}.ship-{batch[0].sequence}")
+        return shipment
+
+    def _transfer_loop_windowed(self) -> Generator[object, object, None]:
+        """Pipelined wire path: up to ``transfer_window`` batches in
+        flight concurrently.
+
+        Shipments serialise FIFO on the link's shared-bandwidth queue
+        and are joined strictly head-first, so the receive side ingests
+        in sequence order exactly like stop-and-wait — while batch N
+        propagates, batches N+1.. are already serialising behind it,
+        hiding the link latency.  Entries are only trimmed from the
+        main journal when their shipment is received, so on any failure
+        (link down under the head shipment, quarantine, backup-journal
+        overflow) every later in-flight shipment is simply discarded:
+        its entries are still journaled and re-ship once the pipeline
+        is healthy.  Payload already on the wire when that happens is
+        wasted bandwidth, exactly like a real retransmit.
+        """
+        config = self.config
+        inflight: Deque[_Shipment] = deque()
+        covered = 0  # journal entries held by in-flight shipments
+        last_done: Optional[float] = None
+        while self._running:
+            if not self._transfer_enabled:
+                return
+            if not self.suspended and self.link.is_up:
+                while len(inflight) < config.transfer_window and \
+                        len(self.main_journal) > covered:
+                    batch = self.main_journal.peek_batch(
+                        self._batch_size, offset=covered)
+                    if not batch:
+                        break
+                    inflight.append(self._launch_shipment(batch))
+                    covered += len(batch)
+            if not inflight:
+                last_done = None
+                yield self.sim.timeout(
+                    self._jittered(config.transfer_interval, "transfer"))
+                if not self._running or not self._transfer_enabled:
+                    return
+                if self.suspended or not self.link.is_up:
+                    continue
+                if not len(self.main_journal) and \
+                        self.sim.now - self._lag_sampled_at \
+                        >= config.idle_lag_sample_interval:
+                    self._sample_lag()
+                continue
+            head = inflight.popleft()
+            yield head.proc  # join: fires when the batch lands
+            covered -= len(head.batch)
+            if head.error is not None:
+                if head.span is not None:
+                    self.tracer.finish(head.span, status="link-down")
+                status = "link-down"
+            else:
+                status = self._receive_batch(
+                    head.batch, head.ship, head.survivor, head.span)
+            # AIMD feeds on the gap between head completions: in a
+            # full pipeline that gap is the batch's serialisation
+            # time, the actual per-batch drain rate of the wire
+            since = last_done if last_done is not None \
+                else head.shipped_at
+            last_done = self.sim.now
+            self._adapt_batch(status == "ok", head.full,
+                              self.sim.now - since,
+                              len(self.main_journal) - covered)
+            if status != "ok":
+                # the pipeline behind a failed head is void: nothing
+                # was trimmed, so those entries re-ship in order
+                for shipment in inflight:
+                    if shipment.span is not None:
+                        self.tracer.finish(shipment.span,
+                                           status="discarded")
+                inflight.clear()
+                covered = 0
+                last_done = None
             self._sample_lag()
 
     def _restore_loop(self) -> Generator[object, object, None]:

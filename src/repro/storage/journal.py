@@ -204,11 +204,20 @@ class JournalVolume:
         if occupancy > self.peak_entries:
             self.peak_entries = occupancy
 
-    def peek_batch(self, limit: int) -> List[JournalEntry]:
-        """The oldest ``limit`` entries without removing them."""
+    def peek_batch(self, limit: int, offset: int = 0) -> List[JournalEntry]:
+        """The oldest ``limit`` entries without removing them.
+
+        ``offset`` skips that many retained entries first: the windowed
+        transfer loop peeks the batch *behind* its in-flight shipments
+        without trimming anything, so a failed shipment leaves the
+        journal untouched and simply re-ships.
+        """
         if limit < 1:
             raise ValueError(f"limit must be >= 1: {limit}")
-        return self._ring[self._head:self._head + limit]
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0: {offset}")
+        start = self._head + offset
+        return self._ring[start:start + limit]
 
     def pop_through(self, sequence: int) -> List[JournalEntry]:
         """Remove and return all entries with ``sequence <=`` the given

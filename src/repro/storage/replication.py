@@ -127,6 +127,19 @@ class ReplicationPair:
         dirty, self.dirty_blocks = self.dirty_blocks, set()
         return dirty
 
+    def secondary_current(self, block: int, version: int) -> bool:
+        """True when the S-VOL already holds ``block`` at ``version`` or
+        newer.
+
+        The delta-negotiation step of bulk copy/resync: the per-block
+        ``(version, crc32)`` metadata carried by every
+        :class:`~repro.storage.volume.BlockValue` is compared *before*
+        any payload is shipped, so an up-to-date secondary block never
+        crosses the wire.
+        """
+        current = self.svol.peek(block)
+        return current is not None and current.version >= version
+
     def promote(self) -> None:
         """Failover: make the S-VOL writable (SSWS)."""
         self.promoted = True

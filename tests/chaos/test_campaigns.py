@@ -82,6 +82,45 @@ class TestCoalescingCampaign:
         assert detections(report) >= 1
 
 
+class TestPipelinedCampaign:
+    """The quick storm with the transfer window open.
+
+    Pipelining keeps several batches in flight across exactly the
+    faults chaos throws at the wire — partitions under in-flight
+    shipments, corrupted entries mid-window, journal squeezes — so the
+    full quick campaign must hold with ``transfer_window=4`` just as
+    it does stop-and-wait, and stay seed-deterministic.
+    """
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_campaign(
+            seed=7, preset="quick",
+            adc_overrides=dict(transfer_window=4))
+
+    def test_passes_end_to_end(self, report):
+        assert report.passed
+        assert report.violations == []
+        assert report.converged
+        assert report.final_entry_lag == 0
+
+    def test_failover_still_consistent(self, report):
+        assert report.failover_checked
+        assert report.failover_consistent
+        assert report.lost_committed_orders == 0
+
+    def test_corruption_still_detected(self, report):
+        assert report.counters["corrupted_payloads_injected"] >= 1
+        assert detections(report) >= 1
+
+    def test_windowed_run_is_deterministic(self, report):
+        again = run_campaign(seed=7, preset="quick",
+                             adc_overrides=dict(transfer_window=4))
+        assert again.digest == report.digest
+        assert again.timeline == report.timeline
+        assert again.counters == report.counters
+
+
 class TestDeterminism:
     def test_same_seed_same_digest(self):
         first = run_campaign(seed=21, preset="quick",

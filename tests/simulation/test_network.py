@@ -48,6 +48,40 @@ class TestNetworkLink:
         assert finish == [("a", pytest.approx(1.0)),
                           ("b", pytest.approx(2.0))]
 
+    def test_bandwidth_queue_is_fifo_and_depth_is_tracked(self, sim):
+        """Three concurrent transfers (the pipelined window's shape)
+        serialise in arrival order on the shared wire: transfer N
+        arrives serialisation*N + latency after the start, and the
+        queue-depth probes see all three contending."""
+        link = NetworkLink(sim, latency=0.1,
+                           bandwidth_bytes_per_s=1_000)
+        finish = []
+
+        def proc(sim, tag):
+            yield from link.transfer(1_000)  # 1 s on the wire each
+            finish.append((tag, sim.now))
+
+        for tag in ("a", "b", "c"):
+            sim.spawn(proc(sim, tag))
+        sim.run()
+        assert finish == [("a", pytest.approx(1.1)),
+                          ("b", pytest.approx(2.1)),
+                          ("c", pytest.approx(3.1))]
+        assert link.peak_queue_depth == 3
+        assert link.queue_depth == 0  # drained
+
+    def test_latency_only_link_has_no_queue(self, sim):
+        link = NetworkLink(sim, latency=0.05)
+
+        def proc(sim):
+            yield from link.transfer(10_000)
+
+        sim.spawn(proc(sim))
+        sim.spawn(proc(sim))
+        sim.run()
+        assert link.queue_depth == 0
+        assert link.peak_queue_depth == 0
+
     def test_jitter_stays_in_bounds_and_is_deterministic(self):
         def sample(seed):
             sim = Simulator(seed=seed)

@@ -77,6 +77,16 @@ class TestParser:
         assert args.preset == "control"
         assert build_parser().parse_args(["chaos"]).preset is None
 
+    def test_chaos_transfer_window_argument(self):
+        args = build_parser().parse_args(
+            ["chaos", "--transfer-window", "4"])
+        assert args.transfer_window == 4
+        assert build_parser().parse_args(["chaos"]).transfer_window == 1
+
+    def test_chaos_rejects_nonpositive_transfer_window(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--transfer-window", "0"])
+
 
 class TestCommands:
     def test_demo_command_prints_summary(self, capsys):
