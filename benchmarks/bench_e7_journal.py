@@ -7,10 +7,13 @@ path never waits on the transfer) vs data lost at a disaster (grows with
 the interval: everything still journaled at the main site dies with it)
 vs peak journal occupancy (capacity planning).
 
-The table also carries the wire cost (transferred KB per run) and a
-hotspot coalescing ablation: the same block-overwrite stream drained
-with and without ``coalesce_overwrites``, showing the superseded
-entries and bytes that never cross the inter-site link.
+The table also carries the wire cost (transferred KB per run) and two
+hotspot ablations: the block-overwrite stream drained with and without
+``coalesce_overwrites`` (superseded entries never cross the inter-site
+link), and the duplicate-heavy payload profile drained with and without
+the wire data-reduction engine (repeated payloads ship as fingerprint
+references, the rest compressed — the transferred_kb column shows the
+bytes the link physically carried).
 """
 
 from repro.bench import run_e7_journal
@@ -32,3 +35,10 @@ def test_e7_journal(experiment, jobs):
     assert coalesce["entries_coalesced_away"] > 0
     assert coalesce["bytes_coalesced"] < coalesce["bytes_plain"]
     assert coalesce["bytes_saved_ratio"] > 0.5
+    # reduction ablation: the duplicate-heavy stream ships at least 3x
+    # fewer wire bytes with reduction on, and the secondary image is
+    # bit-identical either way
+    reduction = facts["reduction"]
+    assert reduction["images_match"]
+    assert reduction["bytes_wire"] * 3 <= reduction["bytes_plain_wire"]
+    assert reduction["bytes_wire"] < reduction["bytes_logical"]

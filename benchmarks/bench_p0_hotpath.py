@@ -24,6 +24,8 @@ EXPECTED_METRICS = {
     "host_write_e2e": True,
     "e1_cell": False,
     "transfer_drain": True,
+    "transfer_drain_reduced": True,
+    "wire_bytes_per_entry": False,
     "initial_copy": True,
 }
 

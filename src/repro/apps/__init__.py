@@ -7,9 +7,9 @@ from repro.apps.analytics import (AnalyticsReport, DatabaseImage,
 from repro.apps.ecommerce import (SALES, STOCK, BusinessState, CatalogItem,
                                   EcommerceApp, OrderResult,
                                   decode_business_state, default_catalog)
-from repro.apps.workload import (BackgroundLoad, WorkloadConfig,
-                                 WorkloadResult, issue_orders,
-                                 run_order_workload)
+from repro.apps.workload import (BackgroundLoad, PayloadProfile,
+                                 WorkloadConfig, WorkloadResult,
+                                 issue_orders, run_order_workload)
 
 __all__ = [
     "AnalyticsReport",
@@ -19,6 +19,7 @@ __all__ = [
     "DatabaseImage",
     "EcommerceApp",
     "OrderResult",
+    "PayloadProfile",
     "SALES",
     "STOCK",
     "WorkloadConfig",

@@ -10,6 +10,7 @@ configuration — which is what makes the E1 latency comparison honest.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Generator, List, Optional
 
@@ -21,6 +22,69 @@ from repro.telemetry.metrics import LatencyRecorder, LatencySummary
 #: (instant rejections, zero-latency devices) so closed loops always
 #: make progress toward their deadline
 ZERO_PROGRESS_PACING = 0.0005
+
+
+@dataclass(frozen=True)
+class PayloadProfile:
+    """Seeded generator of write payloads with a controlled shape.
+
+    ``payload(i)`` is a pure function of ``(kind, size_bytes, seed,
+    unique_payloads, i)`` — no RNG state — so two runs, or the off/on
+    legs of a reduction comparison, see byte-identical write streams.
+
+    Kinds:
+
+    * ``"random"`` — SHA-256 keystream expansion: every payload is
+      distinct and essentially incompressible (the pre-PR 9 behaviour
+      of the benchmark payloads, made explicit);
+    * ``"compressible"`` — a distinct per-index stamp followed by a
+      highly repetitive record body, like the padded text/serialised
+      rows real OLTP pages carry: every payload is unique (dedup can't
+      help) but zlib shrinks it well;
+    * ``"duplicate"`` — cycles a pool of ``unique_payloads`` distinct
+      random payloads, like rewritten hot pages, fixed-content
+      metadata blocks or re-copied ranges: most payloads are exact
+      repeats, the shape fingerprint dedup exists for.
+    """
+
+    kind: str = "random"
+    size_bytes: int = 512
+    seed: int = 0
+    #: pool size for the ``"duplicate"`` kind
+    unique_payloads: int = 8
+
+    KINDS = ("random", "compressible", "duplicate")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(
+                f"kind must be one of {self.KINDS}: {self.kind!r}")
+        if self.size_bytes < 1:
+            raise ValueError("size_bytes must be >= 1")
+        if self.unique_payloads < 1:
+            raise ValueError("unique_payloads must be >= 1")
+
+    def _random_bytes(self, tag: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < self.size_bytes:
+            out += hashlib.sha256(
+                b"%d:%d:%d" % (self.seed, tag, counter)).digest()
+            counter += 1
+        return bytes(out[:self.size_bytes])
+
+    def payload(self, index: int) -> bytes:
+        """The payload of the ``index``-th write of this profile."""
+        if self.kind == "duplicate":
+            return self._random_bytes(index % self.unique_payloads)
+        if self.kind == "compressible":
+            stamp = hashlib.sha256(
+                b"%d:%d" % (self.seed, index)).hexdigest()[:16].encode()
+            body = b"order-row pad=0000000000000000 status=committed "
+            out = stamp + b" " + body * (
+                self.size_bytes // len(body) + 1)
+            return out[:self.size_bytes]
+        return self._random_bytes(index)
 
 
 @dataclass(frozen=True)

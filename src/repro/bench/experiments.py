@@ -560,24 +560,33 @@ def run_e6_downtime(seeds: Sequence[int] = tuple(range(1000, 1006)),
 
 def _coalesce_hotspot(interval_ms: float, seed: int, writes: int,
                       hot_blocks: int, coalesce: bool,
+                      reduced: bool = False, payload_fn=None,
                       ) -> Dict[str, float]:
-    """One hotspot run for the E7 coalescing ablation.
+    """One hotspot run for the E7 coalescing / reduction ablations.
 
     A block-level hotspot (round-robin overwrites of ``hot_blocks``
     blocks) drained through one ADC pair.  The order workload cannot
     exercise coalescing — minidb is log-structured, every put lands in
     a fresh block — so the ablation drives the overwrite pattern the
     optimisation targets directly at the array, the way a page-update
-    OLTP volume would.  Returns wire-side counters after a full drain.
+    OLTP volume would.  ``reduced`` turns the wire data-reduction
+    engine on and ``payload_fn(i)`` shapes the payload stream (the
+    reduction ablation feeds a duplicate-heavy
+    :class:`~repro.apps.workload.PayloadProfile`; default is the tiny
+    all-distinct ``page-NNNNNN`` tag).  Returns wire-side counters
+    after a full drain — ``wire_bytes`` is what the link physically
+    carried, ``transferred_bytes`` the logical pre-reduction volume.
     """
     from repro.simulation import NetworkLink
     from repro.storage import AdcConfig, ArrayConfig, StorageArray
+    from repro.storage.reduction import ReductionConfig
 
     sim = Simulator(seed=seed)
     adc = AdcConfig(transfer_interval=interval_ms / 1e3,
                     transfer_batch=1024, restore_interval=interval_ms / 1e3,
                     restore_batch=1024, interval_jitter=0.0,
-                    coalesce_overwrites=coalesce)
+                    coalesce_overwrites=coalesce,
+                    reduction=ReductionConfig(enabled=reduced))
     config = ArrayConfig(adc=adc)
     main = StorageArray(sim, serial="E7-MAIN", config=config)
     backup = StorageArray(sim, serial="E7-BKUP", config=config)
@@ -594,10 +603,13 @@ def _coalesce_hotspot(interval_ms: float, seed: int, writes: int,
     main.create_async_pair("e7-hotspot-pair", "e7-hotspot",
                            pvol.volume_id, backup, svol.volume_id)
 
+    if payload_fn is None:
+        payload_fn = lambda i: b"page-%06d" % i  # noqa: E731
+
     def hotspot(sim):
         for i in range(writes):
             yield from main.host_write(
-                pvol.volume_id, i % hot_blocks, b"page-%06d" % i)
+                pvol.volume_id, i % hot_blocks, payload_fn(i))
 
     sim.run_until_complete(sim.spawn(hotspot(sim), name="hotspot"))
     deadline = sim.now + 30.0
@@ -611,6 +623,7 @@ def _coalesce_hotspot(interval_ms: float, seed: int, writes: int,
     return {
         "transferred_entries": group.transferred_count.value,
         "transferred_bytes": group.transfer_bytes.value,
+        "wire_bytes": link.bytes_transferred,
         "coalesced_entries": group.coalesced_count.value,
         "mismatched_blocks": mismatched,
     }
@@ -656,6 +669,24 @@ def _e7_hotspot_cell(cell: Tuple[float, int, int, int, bool],
     interval_ms, seed, writes, hot_blocks, coalesce = cell
     return _coalesce_hotspot(interval_ms, seed=seed, writes=writes,
                              hot_blocks=hot_blocks, coalesce=coalesce)
+
+
+def _e7_reduction_cell(cell: Tuple[float, int, int, int, bool],
+                       ) -> Dict[str, float]:
+    """One reduction-ablation hotspot run (tuple-argumented).
+
+    Drives the duplicate-heavy seeded payload profile — 1 KiB pages
+    cycling a pool of 16 distinct contents — through the hotspot
+    harness with the wire data-reduction engine off or on.
+    """
+    from repro.apps.workload import PayloadProfile
+
+    interval_ms, seed, writes, hot_blocks, reduced = cell
+    profile = PayloadProfile(kind="duplicate", size_bytes=1024,
+                             seed=seed, unique_payloads=16)
+    return _coalesce_hotspot(interval_ms, seed=seed, writes=writes,
+                             hot_blocks=hot_blocks, coalesce=False,
+                             reduced=reduced, payload_fn=profile.payload)
 
 
 def run_e7_journal(intervals_ms: Sequence[float] = (1.0, 5.0, 20.0, 50.0),
@@ -720,6 +751,18 @@ def run_e7_journal(intervals_ms: Sequence[float] = (1.0, 5.0, 20.0, 50.0),
         table.add_row(f"{ablation_interval:g} ({label})", 0.0, 0.0,
                       int(run_counters["transferred_entries"]),
                       run_counters["transferred_bytes"] / 1024)
+    # -- wire data-reduction ablation: the same hotspot fed the
+    #    duplicate-heavy payload profile, drained with the reduction
+    #    engine off and on; the transferred_kb column then shows the
+    #    bytes the link physically carried (logical vs post-reduction)
+    verbatim, reduced = runner.map(_e7_reduction_cell, [
+        (ablation_interval, min(seeds), 2_000, 16, False),
+        (ablation_interval, min(seeds), 2_000, 16, True)])
+    for label, run_counters in (("duplicate", verbatim),
+                                ("duplicate+reduction", reduced)):
+        table.add_row(f"{ablation_interval:g} ({label})", 0.0, 0.0,
+                      int(run_counters["transferred_entries"]),
+                      run_counters["wire_bytes"] / 1024)
     facts: Facts = {
         "throughputs": throughputs,
         "mean_losses": mean_losses,
@@ -739,6 +782,17 @@ def run_e7_journal(intervals_ms: Sequence[float] = (1.0, 5.0, 20.0, 50.0),
             "images_match": plain["mismatched_blocks"] == 0
             and coalesced["mismatched_blocks"] == 0,
         },
+        "reduction": {
+            "interval_ms": ablation_interval,
+            "bytes_logical": reduced["transferred_bytes"],
+            "bytes_wire": reduced["wire_bytes"],
+            "bytes_plain_wire": verbatim["wire_bytes"],
+            "bytes_saved_ratio": 1.0 - (
+                reduced["wire_bytes"] / verbatim["wire_bytes"])
+            if verbatim["wire_bytes"] else 0.0,
+            "images_match": verbatim["mismatched_blocks"] == 0
+            and reduced["mismatched_blocks"] == 0,
+        },
         "registry": registry_facts,
     }
     table.note("foreground throughput stays flat (async ack path); data "
@@ -747,6 +801,10 @@ def run_e7_journal(intervals_ms: Sequence[float] = (1.0, 5.0, 20.0, 50.0),
                "peak_journal_entries column holds entries shipped; "
                "coalesce_overwrites collapses superseded overwrites "
                "before they cross the wire")
+    table.note("duplicate rows: the same hotspot with 1 KiB payloads "
+               "cycling 16 distinct contents; transferred_kb is wire "
+               "bytes — fingerprint dedup + compression ship repeats "
+               "as references")
     return table, facts
 
 

@@ -24,7 +24,12 @@ Unlike E1–E8 (which assert *simulated* behaviour), this suite measures
   how fast the delta-negotiated SDC bulk copy re-copies a 10%-dirty
   volume.  Simulated rates are fully deterministic (same value every
   run on every machine), so the regression gate is exact for them; they
-  move when the *wire protocol* changes, not when the host gets slower.
+  move when the *wire protocol* changes, not when the host gets slower;
+* ``transfer_drain_reduced`` / ``wire_bytes_per_entry`` — the wire
+  data-reduction engine on a duplicate-heavy payload profile over a
+  thin link: the reduced drain rate, and the post-reduction bytes each
+  drained entry costs (asserting the >=3x saving with a bit-identical
+  secondary image).  Also simulated-time, so exact.
 
 ``run_perf`` returns the usual ``(table, facts)`` pair; the facts dict
 carries a ``metrics`` sub-dict with explicit ``higher_is_better``
@@ -54,11 +59,13 @@ _SIZES = {
     "full": dict(journal_entries=300_000, kernel_events=300_000,
                  restore_entries=12_000, host_writes=200_000,
                  e1_duration=0.5, transfer_entries=40_000,
-                 copy_blocks=4_096),
+                 copy_blocks=4_096, reduced_entries=30_000,
+                 wire_entries=20_000),
     "quick": dict(journal_entries=100_000, kernel_events=100_000,
                   restore_entries=4_000, host_writes=60_000,
                   e1_duration=0.25, transfer_entries=8_000,
-                  copy_blocks=1_024),
+                  copy_blocks=1_024, reduced_entries=6_000,
+                  wire_entries=4_000),
 }
 
 
@@ -255,15 +262,19 @@ def bench_host_write_e2e(writes: int, volumes: int = 2,
     return writes / elapsed
 
 
-def bench_transfer_drain(entries: int, window: int = 8) -> float:
-    """Pipelined wire-path drain rate in entries per **simulated** s.
+def _transfer_drain_run(entries: int, window: int = 8,
+                        bandwidth: float = 200e6,
+                        payload_fn=None, reduction=None,
+                        settle: bool = False) -> Dict[str, object]:
+    """Drain a pre-filled main journal over a bandwidth-bound link.
 
-    A pre-filled main journal drains over a 10 ms / 200 MB/s link with
-    ``window`` batches in flight and adaptive batch sizing on.  The
-    clock is simulated time, so the value is deterministic: it moves
-    when the transfer protocol changes (batching, pipelining, window
-    management), never when the host machine does.  ``window=1``
-    reproduces the old stop-and-wait behaviour for comparison.
+    The shared world of the wire-path benchmarks: ``payload_fn(i)``
+    shapes the write stream (default the historical constant 128-byte
+    payload), ``reduction`` optionally enables the wire data-reduction
+    engine, and ``settle=True`` additionally waits for the restore side
+    so the secondary image can be compared.  Returns the drain rate in
+    entries per simulated second, the wire bytes the link actually
+    carried during the drain, and (when settled) the secondary image.
     """
     from repro.simulation.kernel import Simulator
     from repro.simulation.network import NetworkLink
@@ -272,19 +283,21 @@ def bench_transfer_drain(entries: int, window: int = 8) -> float:
 
     sim = Simulator(seed=11)
     _disable_tracing(sim)
-    adc = AdcConfig(transfer_interval=0.0005, transfer_batch=512,
-                    transfer_window=window, adaptive_batch=True,
-                    transfer_batch_min=256, transfer_batch_max=4096,
-                    transfer_batch_step=256,
-                    restore_interval=0.0005, restore_batch=4096,
-                    restore_concurrency=8, interval_jitter=0.0)
-    config = ArrayConfig(adc=adc)
+    params = dict(transfer_interval=0.0005, transfer_batch=512,
+                  transfer_window=window, adaptive_batch=True,
+                  transfer_batch_min=256, transfer_batch_max=4096,
+                  transfer_batch_step=256,
+                  restore_interval=0.0005, restore_batch=4096,
+                  restore_concurrency=8, interval_jitter=0.0)
+    if reduction is not None:
+        params["reduction"] = reduction
+    config = ArrayConfig(adc=AdcConfig(**params))
     main = StorageArray(sim, serial="PERF-XFRM", config=config)
     backup = StorageArray(sim, serial="PERF-XFRB", config=config)
     main_pool = main.create_pool(10_000_000)
     backup_pool = backup.create_pool(10_000_000)
     link = NetworkLink(sim, latency=0.010,
-                       bandwidth_bytes_per_s=200e6, name="perf-wan")
+                       bandwidth_bytes_per_s=bandwidth, name="perf-wan")
     main_journal = main.create_journal(main_pool.pool_id, entries + 10)
     backup_journal = backup.create_journal(backup_pool.pool_id,
                                            entries + 10)
@@ -296,17 +309,21 @@ def bench_transfer_drain(entries: int, window: int = 8) -> float:
     svol = backup.create_volume(backup_pool.pool_id, 4096)
     main.create_async_pair("perf-xfr-0", "perf-xfr", pvol.volume_id,
                            backup, svol.volume_id)
-    payload = b"\x42" * 128
+    if payload_fn is None:
+        constant = b"\x42" * 128
+        payload_fn = lambda index: constant  # noqa: E731
 
     def writer(sim):
         for first in range(0, entries, 256):
             count = min(256, entries - first)
             yield from main.host_write_many(
-                [(pvol.volume_id, (first + offset) % 1024, payload)
+                [(pvol.volume_id, (first + offset) % 1024,
+                  payload_fn(first + offset))
                  for offset in range(count)])
 
     sim.run_until_complete(sim.spawn(writer(sim), name="perf-xfr-writer"))
     assert len(group.main_journal) == entries
+    bytes_before = link.bytes_transferred
     group.restart()
     started = sim.now
     # the main journal is trimmed only after the backup site ingested a
@@ -314,7 +331,78 @@ def bench_transfer_drain(entries: int, window: int = 8) -> float:
     while len(group.main_journal):
         sim.run(until=sim.now + 0.001)
     elapsed = sim.now - started
-    return entries / elapsed
+    wire_bytes = link.bytes_transferred - bytes_before
+    image = None
+    if settle:
+        while group.entry_lag:
+            sim.run(until=sim.now + 0.001)
+        image = {block: (value.payload, value.version)
+                 for block, value in svol.block_map().items()}
+    return {"rate": entries / elapsed, "wire_bytes": wire_bytes,
+            "image": image}
+
+
+#: the duplicate-heavy seeded workload profile of the reduction
+#: benchmarks: 2 KiB pages cycling a pool of 32 distinct contents —
+#: rewritten hot pages, the shape fingerprint dedup exists for
+def _duplicate_profile():
+    from repro.apps.workload import PayloadProfile
+    return PayloadProfile(kind="duplicate", size_bytes=2048, seed=29,
+                          unique_payloads=32)
+
+
+def bench_transfer_drain(entries: int, window: int = 8) -> float:
+    """Pipelined wire-path drain rate in entries per **simulated** s.
+
+    A pre-filled main journal drains over a 10 ms / 200 MB/s link with
+    ``window`` batches in flight and adaptive batch sizing on.  The
+    clock is simulated time, so the value is deterministic: it moves
+    when the transfer protocol changes (batching, pipelining, window
+    management), never when the host machine does.  ``window=1``
+    reproduces the old stop-and-wait behaviour for comparison.
+    """
+    return _transfer_drain_run(entries, window=window)["rate"]
+
+
+def bench_transfer_drain_reduced(entries: int) -> float:
+    """Reduced wire-path drain rate in entries per **simulated** s.
+
+    The duplicate-heavy profile drained over a deliberately thin
+    20 MB/s link with the wire data-reduction engine on: almost every
+    payload ships as a fingerprint reference, so the drain runs at a
+    small multiple of the link's verbatim capacity.  Deterministic
+    (simulated time); regressions here mean the reduction protocol
+    stopped taking bytes off the wire.
+    """
+    from repro.storage.reduction import ReductionConfig
+    profile = _duplicate_profile()
+    return _transfer_drain_run(
+        entries, bandwidth=20e6, payload_fn=profile.payload,
+        reduction=ReductionConfig(enabled=True))["rate"]
+
+
+def bench_wire_bytes_per_entry(entries: int) -> float:
+    """Post-reduction wire bytes per drained entry (lower is better).
+
+    Runs the duplicate-heavy drain twice — reduction off, then on —
+    over the same thin link and asserts the hypothesis property of the
+    reduction engine: the reduced run must move at least 3x fewer wire
+    bytes while converging the secondary to a bit-identical image.
+    Returns the reduced run's bytes-per-entry.
+    """
+    from repro.storage.reduction import ReductionConfig
+    profile = _duplicate_profile()
+    plain = _transfer_drain_run(entries, bandwidth=20e6,
+                                payload_fn=profile.payload, settle=True)
+    reduced = _transfer_drain_run(entries, bandwidth=20e6,
+                                  payload_fn=profile.payload,
+                                  reduction=ReductionConfig(enabled=True),
+                                  settle=True)
+    assert reduced["image"] == plain["image"], \
+        "reduction changed the converged secondary image"
+    assert reduced["wire_bytes"] * 3 <= plain["wire_bytes"], \
+        (reduced["wire_bytes"], plain["wire_bytes"])
+    return reduced["wire_bytes"] / entries
 
 
 def bench_initial_copy(blocks: int) -> float:
@@ -392,6 +480,8 @@ _SUITE = (
     ("host_write_e2e", "host_writes", "writes/s", True),
     ("e1_cell", "e1_duration", "seconds", False),
     ("transfer_drain", "transfer_entries", "entries/sim-s", True),
+    ("transfer_drain_reduced", "reduced_entries", "entries/sim-s", True),
+    ("wire_bytes_per_entry", "wire_entries", "bytes/entry", False),
     ("initial_copy", "copy_blocks", "blocks/sim-s", True),
 )
 
@@ -403,6 +493,8 @@ _BENCH_FNS = {
     "host_write_e2e": bench_host_write_e2e,
     "e1_cell": bench_e1_cell,
     "transfer_drain": bench_transfer_drain,
+    "transfer_drain_reduced": bench_transfer_drain_reduced,
+    "wire_bytes_per_entry": bench_wire_bytes_per_entry,
     "initial_copy": bench_initial_copy,
 }
 
@@ -455,8 +547,9 @@ def run_perf(quick: bool = False, jobs: int = 1) -> Tuple[Table, Facts]:
                       "higher" if metric["higher_is_better"] else "lower")
     table.note("wall-clock measurements; compare ratios against a "
                "baseline from the same machine class, not absolutes")
-    table.note("transfer_drain and initial_copy are simulated-time "
-               "rates: deterministic and machine-independent")
+    table.note("transfer_drain, transfer_drain_reduced, "
+               "wire_bytes_per_entry and initial_copy are simulated-time "
+               "metrics: deterministic and machine-independent")
     facts: Facts = {"mode": mode, "metrics": metrics}
     return table, facts
 

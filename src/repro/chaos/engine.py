@@ -542,6 +542,23 @@ class ChaosEngine:
             self.env.system.main.cluster.manager.controllers)
         if restarts:
             counters["controller_restarts_total"] = restarts
+        # wire data reduction counters enter the digest only when the
+        # engine is on, so default campaigns digest byte-identically to
+        # pre-reduction builds
+        reducer = group.reducer
+        if reducer.enabled:
+            counters["reduction_lookups"] = reducer.lookups
+            counters["reduction_hits"] = reducer.hits
+            counters["reduction_ref_fallbacks_total"] = \
+                reducer.ref_fallbacks.value
+            counters["reduction_cache_invalidations_total"] = \
+                reducer.invalidations.value
+            counters["reduction_shipments_discarded_total"] = \
+                reducer.discarded_shipments.value
+            counters["wire_bytes_saved_total[dedup]"] = \
+                reducer.saved_dedup.value
+            counters["wire_bytes_saved_total[compress]"] = \
+                reducer.saved_compress.value
         if self.slo is not None:
             counters["alerts_fired_total"] = sum(
                 1 for transition in self.slo.transitions

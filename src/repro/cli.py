@@ -134,8 +134,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         raise SystemExit("repro: --transfer-window must be >= 1 "
                          f"(got {args.transfer_window})")
     seeds = list(range(args.seed, args.seed + args.seeds))
-    adc_overrides = (dict(transfer_window=args.transfer_window)
-                     if args.transfer_window > 1 else None)
+    adc_overrides = {}
+    if args.transfer_window > 1:
+        adc_overrides["transfer_window"] = args.transfer_window
+    if args.reduction:
+        from repro.storage import ReductionConfig
+        adc_overrides["reduction"] = ReductionConfig(enabled=True)
+    adc_overrides = adc_overrides or None
     reports = run_campaigns(seeds, preset=preset,
                             verify_failover=not args.no_failover,
                             jobs=args.jobs,
@@ -312,6 +317,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the campaigns with N transfer batches "
                             "in flight (pipelined inter-site transfer; "
                             "default 1 = stop-and-wait)")
+    chaos.add_argument("--reduction", action="store_true",
+                       help="run the campaigns with the wire "
+                            "data-reduction engine enabled (fingerprint "
+                            "dedup + inline compression on the "
+                            "inter-site link)")
     chaos.set_defaults(func=_cmd_chaos)
 
     slo = sub.add_parser(

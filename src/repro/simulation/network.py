@@ -108,6 +108,29 @@ class NetworkLink:
         #: deepest the serialisation queue ever got (transfers holding
         #: or waiting for the wire at once); 0 on a latency-only link
         self.peak_queue_depth = 0
+        # registry mirrors of queue_depth/peak_queue_depth: the current
+        # depth samples at a bounded cadence (a busy wire would
+        # otherwise record one point per transfer), the peak on every
+        # new high-water mark (monotone, so only a handful of points)
+        registry = sim.telemetry.registry
+        self.queue_depth_gauge = registry.gauge(
+            "repro_link_queue_depth",
+            help="Transfers holding or queued for the link's FIFO "
+                 "serialisation stage", unit="transfers", link=name)
+        self.peak_queue_depth_gauge = registry.gauge(
+            "repro_link_peak_queue_depth",
+            help="High-water mark of the link's serialisation queue",
+            unit="transfers", link=name)
+        self._queue_sampled_at = float("-inf")
+
+    #: minimum simulated-time spacing between queue-depth samples
+    QUEUE_SAMPLE_INTERVAL = 0.01
+
+    def _sample_queue(self, depth: int) -> None:
+        now = self.sim.now
+        if now - self._queue_sampled_at >= self.QUEUE_SAMPLE_INTERVAL:
+            self._queue_sampled_at = now
+            self.queue_depth_gauge.sample(now, depth)
 
     @property
     def queue_depth(self) -> int:
@@ -218,12 +241,15 @@ class NetworkLink:
             depth = self.queue_depth + 1  # this transfer joins the queue
             if depth > self.peak_queue_depth:
                 self.peak_queue_depth = depth
+                self.peak_queue_depth_gauge.sample(self.sim.now, depth)
+            self._sample_queue(depth)
             yield self._serialiser.acquire()
             try:
                 yield from self._interruptible_wait(
                     payload_bytes / self.bandwidth, "serialisation")
             finally:
                 self._serialiser.release()
+                self._sample_queue(self.queue_depth)
         delay = self.one_way_delay() + self.extra_latency
         # FIFO clamp: a short jitter draw may not undercut the arrival
         # time of the previous delivery on this link

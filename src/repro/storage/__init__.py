@@ -9,6 +9,9 @@ Public surface:
 * :class:`JournalGroup`, :class:`AdcConfig` — asynchronous data copy
   pipelines (a consistency group = several pairs in one journal group);
 * :class:`SyncMirror`, :class:`SdcConfig` — the synchronous baseline;
+* :class:`ReductionConfig`, :class:`ReductionCodec`,
+  :class:`FingerprintCache`, :class:`WireReducer` — wire data reduction
+  (fingerprint dedup + inline compression) for the replication paths;
 * :class:`ReplicationPair`, :class:`PairState`, :class:`CopyMode` —
   pair lifecycle;
 * :class:`Snapshot`, :class:`SnapshotGroup`, :class:`SnapshotView` —
@@ -25,6 +28,8 @@ from repro.storage.journal import JournalEntry, JournalVolume
 from repro.telemetry.metrics import (Counter, Gauge, LatencyRecorder,
                                      LatencySummary, percentile)
 from repro.storage.pool import StoragePool
+from repro.storage.reduction import (FingerprintCache, ReductionCodec,
+                                     ReductionConfig, WireReducer)
 from repro.storage.replication import CopyMode, PairState, ReplicationPair
 from repro.storage.sdc import SdcConfig, SyncMirror
 from repro.storage.snapshot import Snapshot, SnapshotGroup
@@ -43,6 +48,7 @@ __all__ = [
     "BlockValue",
     "CopyMode",
     "Counter",
+    "FingerprintCache",
     "GaugeSeries",
     "JournalEntry",
     "JournalGroup",
@@ -51,6 +57,8 @@ __all__ = [
     "LatencySummary",
     "MediaProfile",
     "PairState",
+    "ReductionCodec",
+    "ReductionConfig",
     "ReplicationPair",
     "SdcConfig",
     "Snapshot",
@@ -62,6 +70,7 @@ __all__ = [
     "Volume",
     "VolumeRole",
     "VolumeStatus",
+    "WireReducer",
     "WriteHistory",
     "WriteRecord",
     "percentile",

@@ -44,7 +44,7 @@ ranges once the link is healthy.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (TYPE_CHECKING, Callable, Deque, Dict, Generator, List,
                     Optional, Tuple)
 
@@ -52,6 +52,8 @@ from repro.errors import ReplicationError
 from repro.simulation.network import LinkDownError, NetworkLink
 from repro.simulation.resources import Gate
 from repro.storage.journal import JournalEntry, JournalFullError, JournalVolume
+from repro.storage.reduction import (DISABLED_REDUCTION, EncodedPayload,
+                                     ReductionConfig, WireReducer)
 from repro.storage.replication import PairState, ReplicationPair
 from repro.telemetry.spans import Span
 
@@ -130,6 +132,10 @@ class AdcConfig:
     #: auto-repair wake-ups before giving up (operator takes over);
     #: :meth:`JournalGroup.ensure_repair` re-arms the loop
     repair_max_attempts: int = 200
+    #: wire data reduction (fingerprint dedup + inline compression) for
+    #: the transfer path; off by default — the wire then carries every
+    #: payload byte verbatim, exactly as before
+    reduction: ReductionConfig = DISABLED_REDUCTION
 
     def __post_init__(self) -> None:
         if self.transfer_interval <= 0 or self.restore_interval <= 0:
@@ -159,6 +165,8 @@ class AdcConfig:
             raise ValueError("repair_delay must be > 0")
         if self.repair_max_attempts < 1:
             raise ValueError("repair_max_attempts must be >= 1")
+        if not isinstance(self.reduction, ReductionConfig):
+            raise ValueError("reduction must be a ReductionConfig")
 
 
 @dataclass
@@ -177,6 +185,10 @@ class _Shipment:
     ship: List[JournalEntry]
     survivor: Optional[Dict[Tuple[int, int], int]]
     payload_bytes: int
+    #: per-entry wire encodings when reduction is on (None = verbatim);
+    #: nothing is cache-committed until the shipment is received, so a
+    #: discarded shipment's encodings roll back for free
+    encodings: Optional[List[EncodedPayload]] = None
     span: Optional[Span] = None
     proc: object = None
     error: Optional[BaseException] = field(default=None)
@@ -239,6 +251,9 @@ class JournalGroup:
                                        adc.transfer_batch))
         else:
             self._batch_size = adc.transfer_batch
+        #: wire data-reduction engine (no-op object when disabled);
+        #: shared by the transfer loop and the resync traffic riding it
+        self.reducer = WireReducer(sim, adc.reduction, group=group_id)
         # -- observability ---------------------------------------------------
         # instruments live in the simulation's metrics registry, keyed
         # by group; the attributes below are the same objects the
@@ -274,8 +289,8 @@ class JournalGroup:
             group=group_id)
         self.transfer_bytes = registry.counter(
             "repro_journal_transfer_bytes_total",
-            help="Wire bytes shipped over the inter-site link",
-            unit="bytes", group=group_id)
+            help="Logical (pre-reduction) bytes shipped over the "
+                 "inter-site link", unit="bytes", group=group_id)
         self.coalesced_count = registry.counter(
             "repro_transfer_coalesced_total",
             help="Superseded overwrites collapsed before crossing the "
@@ -526,6 +541,10 @@ class JournalGroup:
         pair = self._pairs_by_pvol.get(entry.volume_id)
         if pair is not None:
             pair.mark_dirty(entry.volume_id, entry.block)
+        # a quarantine voids the reduction caches: in-flight encodings
+        # behind this batch are discarded and the sender can no longer
+        # assume the receiver's fingerprint state
+        self.reducer.invalidate()
         self._suspend(
             PairState.PSUE,
             f"integrity: corrupt entry seq={entry.sequence} "
@@ -659,6 +678,8 @@ class JournalGroup:
         loops have exited; running loops are left alone.  Chaos
         array-crash faults use this to model crash *and restart*.
         """
+        # fingerprint caches do not survive an array restart
+        self.reducer.invalidate()
         self._transfer_enabled = True
         self._running = False
         self.start()
@@ -724,10 +745,32 @@ class JournalGroup:
             self._batch_size = size
             self.batch_size_gauge.sample(self.sim.now, size)
 
+    def _encode_ship(self, ship: List[JournalEntry],
+                     ) -> Tuple[Optional[List[EncodedPayload]], int]:
+        """Encode one outgoing batch against the reduction caches.
+
+        Returns ``(encodings, wire_bytes)`` — or ``(None, logical)``
+        when reduction is off, leaving the verbatim wire path
+        untouched.  Encoding commits nothing to the caches (commit
+        happens at receive), so a shipment discarded in flight leaves
+        no speculative state to roll back.
+        """
+        reducer = self.reducer
+        if not reducer.enabled:
+            return None, sum(entry.size_bytes for entry in ship)
+        pending = reducer.begin_batch()
+        encodings = [
+            reducer.encode(entry.payload, pending,
+                           overhead=entry.size_bytes - len(entry.payload))
+            for entry in ship]
+        return encodings, sum(e.wire_bytes for e in encodings)
+
     def _receive_batch(self, batch: List[JournalEntry],
                        ship: List[JournalEntry],
                        survivor: Optional[Dict[Tuple[int, int], int]],
-                       batch_span: Optional[Span]) -> str:
+                       batch_span: Optional[Span],
+                       encodings: Optional[List[EncodedPayload]] = None,
+                       ) -> str:
         """Receive-side ingest of one transferred batch.
 
         Verifies each entry's CRC32 (quarantining on mismatch), ingests
@@ -737,6 +780,12 @@ class JournalGroup:
         pipelined loops share it without perturbing event order.
         Returns the batch status: ``"ok"``, ``"integrity"`` or
         ``"backup-full"``.
+
+        With ``encodings`` (reduction on) each entry is first
+        reconstructed from its wire form — compressed payloads actually
+        decompress, references actually resolve from the receiver cache
+        — so a bad resolution or decode genuinely fails the CRC32 check
+        and quarantines like any other wire corruption.
         """
         consumed = set()  # sequences ingested or quarantined
         last_ingested = -1
@@ -746,7 +795,13 @@ class JournalGroup:
         injector = self._wire_injector
         verify = self.config.verify_integrity
         backup_ingest = self.backup_journal.ingest
-        for entry in ship:
+        reducer = self.reducer
+        for index, entry in enumerate(ship):
+            if encodings is not None:
+                received = reducer.receive(encodings[index], entry.payload,
+                                           entry.checksum)
+                if received is not entry.payload:
+                    entry = replace(entry, payload=received)
             wired = injector(entry) if injector is not None else entry
             if verify and not wired.verify_checksum():
                 # corruption picked up on the wire: quarantine the
@@ -766,6 +821,11 @@ class JournalGroup:
             last_ingested = entry.sequence
             delivered_count += 1
             delivered_bytes += entry.size_bytes
+        if encodings is not None:
+            # book the whole shipment's post-reduction wire bytes (the
+            # full batch crossed the link even if ingest stopped early)
+            # plus any reference-fallback retransmits receive() priced in
+            reducer.account("transfer", encodings)
         # trim the longest batch prefix in which every entry was
         # consumed directly or superseded by a consumed survivor;
         # the rest stays journaled and re-ships after the
@@ -802,6 +862,10 @@ class JournalGroup:
             if not self._transfer_enabled:
                 return
             if self.suspended or not self.link.is_up:
+                if not self.link.is_up:
+                    # even an idle link-down voids the caches: the
+                    # sender cannot prove the receiver survived it
+                    self.reducer.invalidate()
                 continue
             batch = self.main_journal.peek_batch(self._batch_size) \
                 if len(self.main_journal) else []
@@ -820,7 +884,7 @@ class JournalGroup:
             else:
                 survivor = None
                 ship = batch
-            payload_bytes = sum(entry.size_bytes for entry in ship)
+            encodings, payload_bytes = self._encode_ship(ship)
             tracer = self.tracer
             batch_span = None
             if tracer.enabled:
@@ -837,10 +901,15 @@ class JournalGroup:
             except LinkDownError:
                 if batch_span is not None:
                     tracer.finish(batch_span, status="link-down")
+                # after a mid-flight link failure the sender can no
+                # longer prove the receiver's cache state: re-warm
+                self.reducer.discard()
+                self.reducer.invalidate()
                 self._adapt_batch(False, full, self.sim.now - shipped_at,
                                   len(self.main_journal))
                 continue  # entries stay journaled; retried next wake-up
-            status = self._receive_batch(batch, ship, survivor, batch_span)
+            status = self._receive_batch(batch, ship, survivor, batch_span,
+                                         encodings)
             self._adapt_batch(status == "ok", full,
                               self.sim.now - shipped_at,
                               len(self.main_journal))
@@ -867,7 +936,7 @@ class JournalGroup:
                 self.coalesced_count.increment(len(batch) - len(ship))
         else:
             ship, survivor = batch, None
-        payload_bytes = sum(entry.size_bytes for entry in ship)
+        encodings, payload_bytes = self._encode_ship(ship)
         span = None
         tracer = self.tracer
         if tracer.enabled:
@@ -879,7 +948,7 @@ class JournalGroup:
                 last_sequence=ship[-1].sequence)
         shipment = _Shipment(
             batch=batch, ship=ship, survivor=survivor,
-            payload_bytes=payload_bytes, span=span,
+            payload_bytes=payload_bytes, encodings=encodings, span=span,
             shipped_at=self.sim.now,
             full=len(batch) >= self._batch_size)
         shipment.proc = self.sim.spawn(
@@ -926,6 +995,10 @@ class JournalGroup:
                 if not self._running or not self._transfer_enabled:
                     return
                 if self.suspended or not self.link.is_up:
+                    if not self.link.is_up:
+                        # idle link-down voids the caches (see the
+                        # serial loop)
+                        self.reducer.invalidate()
                     continue
                 if not len(self.main_journal) and \
                         self.sim.now - self._lag_sampled_at \
@@ -938,10 +1011,15 @@ class JournalGroup:
             if head.error is not None:
                 if head.span is not None:
                     self.tracer.finish(head.span, status="link-down")
+                # the head died on the wire: its encodings (and those
+                # of everything queued behind it) were never committed
+                self.reducer.discard()
+                self.reducer.invalidate()
                 status = "link-down"
             else:
                 status = self._receive_batch(
-                    head.batch, head.ship, head.survivor, head.span)
+                    head.batch, head.ship, head.survivor, head.span,
+                    head.encodings)
             # AIMD feeds on the gap between head completions: in a
             # full pipeline that gap is the batch's serialisation
             # time, the actual per-batch drain rate of the wire
@@ -953,7 +1031,11 @@ class JournalGroup:
                               len(self.main_journal) - covered)
             if status != "ok":
                 # the pipeline behind a failed head is void: nothing
-                # was trimmed, so those entries re-ship in order
+                # was trimmed, so those entries re-ship in order — and
+                # nothing was cache-committed (commit happens at
+                # receive), so discarding the encodings is the whole
+                # rollback
+                self.reducer.discard(len(inflight))
                 for shipment in inflight:
                     if shipment.span is not None:
                         self.tracer.finish(shipment.span,

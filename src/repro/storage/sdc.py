@@ -20,6 +20,8 @@ from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 from repro.errors import ReplicationError
 from repro.simulation.network import LinkDownError, NetworkLink
 from repro.simulation.resources import Lock
+from repro.storage.reduction import (DISABLED_REDUCTION, ReductionConfig,
+                                     WireReducer)
 from repro.storage.replication import PairState, ReplicationPair
 from repro.telemetry.spans import Span
 
@@ -47,6 +49,10 @@ class SdcConfig:
     #: metadata — the lightweight-metadata exchange that lets
     #: up-to-date secondary blocks skip the payload transfer entirely
     negotiate_metadata_bytes: int = 16
+    #: wire data reduction (fingerprint dedup + inline compression) for
+    #: the bulk copy / resync payload transfers; off by default — the
+    #: wire then carries every stale block verbatim, exactly as before
+    reduction: ReductionConfig = DISABLED_REDUCTION
 
     def __post_init__(self) -> None:
         if self.block_size_bytes < 1:
@@ -58,6 +64,8 @@ class SdcConfig:
             raise ValueError("copy_batch_blocks must be >= 1")
         if self.negotiate_metadata_bytes < 1:
             raise ValueError("negotiate_metadata_bytes must be >= 1")
+        if not isinstance(self.reduction, ReductionConfig):
+            raise ValueError("reduction must be a ReductionConfig")
 
 
 class SyncMirror:
@@ -77,6 +85,10 @@ class SyncMirror:
         registry = sim.telemetry.registry
         self.tracer = sim.telemetry.tracer
         self.recorder = sim.telemetry.recorder
+        #: wire data-reduction engine for the bulk copy / resync
+        #: payload transfers (no-op object when disabled)
+        self.reducer = WireReducer(sim, self.config.reduction,
+                                   mirror=mirror_id)
         self.replicated_writes = registry.counter(
             "repro_sdc_replicated_writes_total",
             help="Writes propagated synchronously before the ack",
@@ -136,7 +148,7 @@ class SyncMirror:
     # -- data path ----------------------------------------------------------
 
     def _bulk_copy(self, pair: ReplicationPair,
-                   items: List[tuple],
+                   items: List[tuple], path: str = "copy",
                    ) -> Generator[object, object, None]:
         """Delta-negotiated batched copy of ``(block, value)`` items.
 
@@ -148,14 +160,27 @@ class SyncMirror:
         ships as one batched payload transfer and applies with
         overlapped media writes — the whole chunk costs three one-way
         delays instead of one per block.
+
+        With reduction enabled the stale payload transfer is charged
+        its *post-reduction* byte count (dedup references + compressed
+        payloads), the installed bytes are the actual receive-side
+        reconstruction, and ``path`` labels the wire-byte accounting
+        (``"copy"`` for initial copy, ``"resync"`` for resync).
         """
         config = self.config
         svol = pair.svol
+        reducer = self.reducer
         for start in range(0, len(items), config.copy_batch_blocks):
             chunk = items[start:start + config.copy_batch_blocks]
             # negotiation round trip: metadata out, verdict back
-            yield from self.link.transfer(
-                config.negotiate_metadata_bytes * len(chunk))
+            negotiate_bytes = config.negotiate_metadata_bytes * len(chunk)
+            try:
+                yield from self.link.transfer(negotiate_bytes)
+            except LinkDownError:
+                reducer.invalidate()
+                raise
+            if reducer.enabled:
+                reducer.account(path, [], extra_wire=negotiate_bytes)
             ack_delay = self.link.one_way_delay()
             if ack_delay > 0:
                 yield self.sim.timeout(ack_delay)
@@ -165,8 +190,37 @@ class SyncMirror:
                 self.copy_skipped.increment(len(chunk) - len(stale))
             if not stale:
                 continue
-            yield from self.link.transfer(
-                config.block_size_bytes * len(stale))
+            if reducer.enabled:
+                # every block ships at the fixed block size unreduced,
+                # so raw_bytes prices the wire cost it would have paid
+                pending = reducer.begin_batch()
+                encodings = [
+                    reducer.encode(value.payload, pending,
+                                   raw_bytes=config.block_size_bytes)
+                    for _block, value in stale]
+                wire_bytes = sum(e.wire_bytes for e in encodings)
+            else:
+                encodings = None
+                wire_bytes = config.block_size_bytes * len(stale)
+            try:
+                yield from self.link.transfer(wire_bytes)
+            except LinkDownError:
+                # the shipment never landed: nothing was committed, but
+                # the sender can no longer prove the receiver's state
+                reducer.discard()
+                reducer.invalidate()
+                raise
+            if encodings is not None:
+                # receive side: reconstruct each block from its wire
+                # form (committing the caches in lockstep) and book the
+                # chunk's post-reduction bytes under this path
+                received = {
+                    block: reducer.receive(encodings[i], value.payload,
+                                           value.checksum)
+                    for i, (block, value) in enumerate(stale)}
+                reducer.account(path, encodings)
+            else:
+                received = {block: value.payload for block, value in stale}
             # a concurrent replicate_write may have raced a newer
             # version in while the payload was on the wire; re-check
             # before applying, exactly like the per-block path did
@@ -181,7 +235,7 @@ class SyncMirror:
             if delay > 0:
                 yield self.sim.timeout(delay)
             for block, value in installs:
-                svol.install_block(block, value.payload,
+                svol.install_block(block, received[block],
                                    version=value.version,
                                    checksum=value.checksum)
 
@@ -231,6 +285,8 @@ class SyncMirror:
             if ack_delay > 0:
                 yield self.sim.timeout(ack_delay)
         except LinkDownError:
+            # fingerprint state is void after any link failure
+            self.reducer.invalidate()
             if self.config.fence_level == "data":
                 self.tracer.finish(rep_span, status="error")
                 raise
@@ -274,7 +330,7 @@ class SyncMirror:
                 if value is None:
                     continue
                 items.append((block, value))
-            yield from self._bulk_copy(pair, items)
+            yield from self._bulk_copy(pair, items, path="resync")
             pair.clear_suspension()
 
     def _require_pair(self, pair_id: str) -> ReplicationPair:
