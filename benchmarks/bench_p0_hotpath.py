@@ -21,6 +21,7 @@ EXPECTED_METRICS = {
     "journal_drain": True,
     "kernel_events": True,
     "restore_drain": True,
+    "snapshot_under_restore": True,
     "host_write_e2e": True,
     "e1_cell": False,
     "transfer_drain": True,

@@ -11,7 +11,12 @@ Unlike E1–E8 (which assert *simulated* behaviour), this suite measures
 * ``restore_drain`` — end-to-end replication drain rate: a pre-filled
   main journal shipped and applied to secondary volumes, in entries per
   wall second (the C5 insight: the backup-side apply loop must keep up
-  with the primary's ack rate or lag grows without bound);
+  with the primary's ack rate or lag grows without bound).  Measured
+  with the dependency-aware lane applier on (``AdcConfig.apply_lanes``);
+* ``snapshot_under_restore`` — the same drain while quiesced snapshot
+  groups churn on the secondary volumes and their memoized images are
+  read repeatedly: restore throughput and analytics snapshots at once,
+  which is the paper's actual operating point;
 * ``host_write_e2e`` — end-to-end batched host-write ingest rate at the
   main site (install + journal append + history ack per write), in
   writes per wall second — the paper's "no impact on business
@@ -60,12 +65,12 @@ _SIZES = {
                  restore_entries=12_000, host_writes=200_000,
                  e1_duration=0.5, transfer_entries=40_000,
                  copy_blocks=4_096, reduced_entries=30_000,
-                 wire_entries=20_000),
+                 wire_entries=20_000, snap_restore_entries=8_000),
     "quick": dict(journal_entries=100_000, kernel_events=100_000,
                   restore_entries=4_000, host_writes=60_000,
                   e1_duration=0.25, transfer_entries=8_000,
                   copy_blocks=1_024, reduced_entries=6_000,
-                  wire_entries=4_000),
+                  wire_entries=4_000, snap_restore_entries=3_000),
 }
 
 
@@ -147,12 +152,15 @@ def bench_kernel_events(events: int, processes: int = 4) -> float:
 
 
 def bench_restore_drain(entries: int, volumes: int = 2,
-                        restore_concurrency: int = 8) -> float:
+                        restore_concurrency: int = 8,
+                        apply_lanes: int = 8) -> float:
     """End-to-end drain rate of a pre-filled main journal.
 
     Host writes fill the journal while the background loops are
     stopped; timing starts when the loops start and stops when the
     pipeline has fully applied everything to the secondary volumes.
+    Runs with the dependency-aware lane applier on (``apply_lanes``);
+    pass ``apply_lanes=1`` to measure the serial applier.
     """
     from repro.simulation.kernel import Simulator
     from repro.simulation.network import NetworkLink
@@ -164,7 +172,8 @@ def bench_restore_drain(entries: int, volumes: int = 2,
     adc = AdcConfig(transfer_interval=0.0005, transfer_batch=4096,
                     restore_interval=0.0005, restore_batch=4096,
                     interval_jitter=0.0,
-                    restore_concurrency=restore_concurrency)
+                    restore_concurrency=restore_concurrency,
+                    apply_lanes=apply_lanes)
     config = ArrayConfig(adc=adc)
     main = StorageArray(sim, serial="PERF-MAIN", config=config)
     backup = StorageArray(sim, serial="PERF-BKUP", config=config)
@@ -201,6 +210,89 @@ def bench_restore_drain(entries: int, volumes: int = 2,
         started = time.perf_counter()
         while group.entry_lag:
             sim.run(until=sim.now + 0.05)
+        elapsed = time.perf_counter() - started
+    return entries / elapsed
+
+
+def bench_snapshot_under_restore(entries: int, volumes: int = 2,
+                                 apply_lanes: int = 8,
+                                 image_reads: int = 4) -> float:
+    """Drain rate while analytics snapshots churn on the backup site.
+
+    The paper's no-impact claim needs *both* at once: the restore
+    applier keeps draining the journal while quiesced snapshot groups
+    are created on the secondary volumes, their images read repeatedly
+    (``image_blocks``/``frozen_version_map`` — the memoized COW path),
+    and the groups rotated out.  Reported as drained entries per wall
+    second; exercises the lane applier's consistency-cut barrier, the
+    snapshot quiesce handshake, and the COW install fast path together.
+    """
+    from repro.simulation.kernel import Simulator
+    from repro.simulation.network import NetworkLink
+    from repro.storage.adc import AdcConfig
+    from repro.storage.array import ArrayConfig, StorageArray
+
+    sim = Simulator(seed=3)
+    _disable_tracing(sim)
+    adc = AdcConfig(transfer_interval=0.0005, transfer_batch=4096,
+                    restore_interval=0.0005, restore_batch=4096,
+                    interval_jitter=0.0, restore_concurrency=8,
+                    apply_lanes=apply_lanes)
+    config = ArrayConfig(adc=adc)
+    main = StorageArray(sim, serial="PERF-MAIN", config=config)
+    backup = StorageArray(sim, serial="PERF-BKUP", config=config)
+    main_pool = main.create_pool(10_000_000)
+    backup_pool = backup.create_pool(10_000_000)
+    link = NetworkLink(sim, latency=0.001, name="perf-link")
+    main_journal = main.create_journal(main_pool.pool_id, entries + 10)
+    backup_journal = backup.create_journal(backup_pool.pool_id,
+                                           entries + 10)
+    main.create_journal_group("perf", main_journal.journal_id, backup,
+                              backup_journal.journal_id, link)
+    group = main.journal_groups["perf"]
+    group.stop()
+    pvols, svol_ids = [], []
+    for index in range(volumes):
+        pvol = main.create_volume(main_pool.pool_id, 4096)
+        svol = backup.create_volume(backup_pool.pool_id, 4096)
+        main.create_async_pair(f"perf-{index}", "perf", pvol.volume_id,
+                               backup, svol.volume_id)
+        pvols.append(pvol)
+        svol_ids.append(svol.volume_id)
+
+    payload = b"\x3c" * 128
+
+    def writer(sim):
+        for index in range(entries):
+            pvol = pvols[index % volumes]
+            yield from main.host_write(pvol.volume_id, index % 1024,
+                                       payload)
+
+    sim.run_until_complete(sim.spawn(writer(sim), name="perf-writer"))
+    group.restart()
+
+    def snapshotter(sim):
+        generation = 0
+        while group.entry_lag:
+            generation += 1
+            group_id = f"perf-sg-{generation}"
+            snap_group = yield from backup.create_snapshot_group(
+                group_id, svol_ids)
+            for _ in range(image_reads):
+                for snapshot in snap_group.snapshots:
+                    # memoized materializations: O(blocks) once, O(1)
+                    # on every repeated analytics read
+                    snapshot.image_blocks()
+                    snapshot.frozen_version_map()
+            backup.delete_snapshot_group(group_id)
+            yield sim.timeout(0.002)
+
+    with _no_gc():
+        started = time.perf_counter()
+        snap_proc = sim.spawn(snapshotter(sim), name="perf-snapshotter")
+        while group.entry_lag:
+            sim.run(until=sim.now + 0.05)
+        sim.run_until_complete(snap_proc)
         elapsed = time.perf_counter() - started
     return entries / elapsed
 
@@ -477,6 +569,7 @@ _SUITE = (
     ("journal_drain", "journal_entries", "entries/s", True),
     ("kernel_events", "kernel_events", "events/s", True),
     ("restore_drain", "restore_entries", "entries/s", True),
+    ("snapshot_under_restore", "snap_restore_entries", "entries/s", True),
     ("host_write_e2e", "host_writes", "writes/s", True),
     ("e1_cell", "e1_duration", "seconds", False),
     ("transfer_drain", "transfer_entries", "entries/sim-s", True),
@@ -490,6 +583,7 @@ _BENCH_FNS = {
     "journal_drain": bench_journal_drain,
     "kernel_events": bench_kernel_events,
     "restore_drain": bench_restore_drain,
+    "snapshot_under_restore": bench_snapshot_under_restore,
     "host_write_e2e": bench_host_write_e2e,
     "e1_cell": bench_e1_cell,
     "transfer_drain": bench_transfer_drain,

@@ -37,8 +37,7 @@ from repro.storage.volume import (BlockValue, MediaProfile, SnapshotView,
                                   Volume, VolumeRole, VolumeStatus)
 
 #: historical name of the telemetry :class:`Gauge`, kept for the public
-#: storage API (the deprecated ``repro.storage.metrics`` shim aliases it
-#: the same way)
+#: storage API
 GaugeSeries = Gauge
 
 __all__ = [

@@ -197,10 +197,41 @@ class JournalVolume:
             raise JournalFullError(f"{self.name} full on ingest")
         ring.append(entry)
         self.head_sequence = entry.sequence
-        size = entry.size_bytes
+        size = len(entry.payload) + 64  # inlined entry.size_bytes
         self._sizes.append(size)
         self.bytes_retained += size
         occupancy = len(ring) - self._head
+        if occupancy > self.peak_entries:
+            self.peak_entries = occupancy
+
+    def ingest_batch(self, entries: List[JournalEntry]) -> None:
+        """Bulk :meth:`ingest` of one transferred batch.
+
+        All-or-nothing: order and capacity are checked *before* any
+        mutation, so a :class:`JournalFullError` leaves the journal
+        exactly as it was and the caller can fall back to per-entry
+        ingest (which admits the prefix that fits).  ``entries`` must be
+        in sequence order — they are a :meth:`peek_batch` slice of the
+        shipping journal, which is sorted by construction, so only the
+        first entry is checked against the ring tail.
+        """
+        if not entries:
+            return
+        ring = self._ring
+        if len(ring) > self._head \
+                and entries[0].sequence <= ring[-1].sequence:
+            raise ValueError(
+                f"{self.name}: out-of-order ingest "
+                f"seq={entries[0].sequence} after {ring[-1].sequence}")
+        occupancy = len(ring) - self._head
+        if occupancy + len(entries) > self.capacity_entries:
+            raise JournalFullError(f"{self.name} full on ingest")
+        ring.extend(entries)
+        sizes = [len(entry.payload) + 64 for entry in entries]
+        self._sizes.extend(sizes)
+        self.bytes_retained += sum(sizes)
+        self.head_sequence = entries[-1].sequence
+        occupancy += len(entries)
         if occupancy > self.peak_entries:
             self.peak_entries = occupancy
 

@@ -48,6 +48,13 @@ class Snapshot:
         # Writes issued against the snapshot view.
         self._overlay: Dict[int, BlockValue] = {}
         self._overlay_version = 0
+        # Memoized materializations of image_blocks()/frozen_version_map()
+        # guarded by a mutation generation (bumped on overlay writes;
+        # preimage saves keep both views stable — see image_blocks()).
+        self._mutation_gen = 0
+        self._image_cache: Optional[Dict[int, bytes]] = None
+        self._image_cache_gen = -1
+        self._frozen_cache: Optional[Dict[int, int]] = None
         #: the sequence point of the group quiesce, when group-created
         self.group_sequence: Optional[int] = None
         base.attach_snapshot(self)
@@ -99,42 +106,68 @@ class Snapshot:
         """Write into the snapshot's private overlay; returns a version."""
         self._check_live()
         self._overlay_version += 1
+        self._mutation_gen += 1
         version = self.base.version_counter + self._overlay_version
+        data = bytes(payload)
         self._overlay[block] = BlockValue(
-            bytes(payload), version, checksum=payload_checksum(payload))
+            data, version, checksum=payload_checksum(data))
+        if self._image_cache is not None:
+            # keep the memoized image hot instead of invalidating it
+            self._image_cache[block] = data
+            self._image_cache_gen = self._mutation_gen
         return version
 
     def image_blocks(self) -> Dict[int, bytes]:
-        """The full current image of the snapshot view (checker use)."""
+        """The full current image of the snapshot view (checker use).
+
+        Memoized: the merge of base ∪ pre-images is the *frozen* view,
+        which is immutable after creation — every base mutation routes
+        through the COW hook first, so the pre-image it preserves equals
+        exactly the value this cache already holds for that block, and
+        all later base values are masked by it.  Only overlay writes
+        change the image, and they update the cache in place (guarded by
+        the mutation generation).  The returned dict is the cache —
+        callers treat it as read-only.
+        """
         self._check_live()
-        image: Dict[int, bytes] = {}
-        for block, value in self.base.block_map().items():
-            image[block] = value.payload
-        for block, value in self._preimages.items():
-            if value is None:
-                image.pop(block, None)
-            else:
+        if self._image_cache is None \
+                or self._image_cache_gen != self._mutation_gen:
+            image: Dict[int, bytes] = {}
+            for block, value in self.base.block_map().items():
                 image[block] = value.payload
-        for block, value in self._overlay.items():
-            image[block] = value.payload
-        return image
+            for block, value in self._preimages.items():
+                if value is None:
+                    image.pop(block, None)
+                else:
+                    image[block] = value.payload
+            for block, value in self._overlay.items():
+                image[block] = value.payload
+            self._image_cache = image
+            self._image_cache_gen = self._mutation_gen
+        return self._image_cache
 
     def frozen_version_map(self) -> Dict[int, int]:
         """block → version of the *frozen* image (ignores the overlay).
 
         This is what consistency checking compares against history: the
-        state of the base volume at snapshot-creation time.
+        state of the base volume at snapshot-creation time.  Memoized:
+        the frozen view never changes after the first materialization
+        (same COW-ordering argument as :meth:`image_blocks`, and the
+        overlay is ignored here).  The returned dict is the cache —
+        callers treat it as read-only.
         """
         self._check_live()
-        versions: Dict[int, int] = {}
-        for block, value in self.base.block_map().items():
-            versions[block] = value.version
-        for block, value in self._preimages.items():
-            if value is None:
-                versions.pop(block, None)
-            else:
+        if self._frozen_cache is None:
+            versions: Dict[int, int] = {}
+            for block, value in self.base.block_map().items():
                 versions[block] = value.version
-        return versions
+            for block, value in self._preimages.items():
+                if value is None:
+                    versions.pop(block, None)
+                else:
+                    versions[block] = value.version
+            self._frozen_cache = versions
+        return self._frozen_cache
 
     def view(self) -> SnapshotView:
         """A volume-like read/write handle over this snapshot."""
@@ -151,6 +184,8 @@ class Snapshot:
         self.base.detach_snapshot(self)
         self._preimages.clear()
         self._overlay.clear()
+        self._image_cache = None
+        self._frozen_cache = None
 
     def _check_live(self) -> None:
         if self.deleted:

@@ -106,6 +106,11 @@ class Volume:
         self._blocks: Dict[int, BlockValue] = {}
         self._version_counter = 0
         self._snapshots: List["Snapshot"] = []
+        # Blocks whose pre-image every live attached snapshot already
+        # holds: installs to them skip the per-snapshot COW scan, and
+        # apply_delay() prices them without one.  Cleared whenever a new
+        # snapshot attaches (it has no pre-images yet).
+        self._cow_saved: set = set()
         #: counters for experiment reporting
         self.reads = 0
         self.writes = 0
@@ -224,7 +229,7 @@ class Volume:
         """
         cost = self.media.write_latency
         cow = self.media.cow_copy_latency
-        if cow > 0 and self._snapshots:
+        if cow > 0 and self._snapshots and block not in self._cow_saved:
             pending = sum(1 for snap in self._snapshots
                           if not snap.deleted
                           and not snap.has_preimage(block))
@@ -244,11 +249,12 @@ class Volume:
         """
         self._check_block(block)
         self._check_online()
-        if self._snapshots:
+        if self._snapshots and block not in self._cow_saved:
             blocks_get = self._blocks.get
             for snap in self._snapshots:
                 if not snap.deleted and not snap.has_preimage(block):
                     snap.save_preimage(block, blocks_get(block))
+            self._cow_saved.add(block)
         if version is None:
             self._version_counter += 1
             version = self._version_counter
@@ -274,6 +280,8 @@ class Volume:
         while this write waits out the copy latency; such snapshots are
         simply skipped — their pre-image store is gone anyway.
         """
+        if block in self._cow_saved:
+            return
         pending = [snap for snap in self._snapshots
                    if not snap.has_preimage(block)]
         for snap in pending:
@@ -284,12 +292,19 @@ class Volume:
             if snap.deleted:
                 continue  # pruned while we waited for the copy
             snap.save_preimage(block, self._blocks.get(block))
+        # a snapshot attached while a copy above waited would have
+        # cleared the set; only then could the all() below be stale
+        if all(snap.deleted or snap.has_preimage(block)
+               for snap in self._snapshots):
+            self._cow_saved.add(block)
 
     # -- snapshot attachment (used by repro.storage.snapshot) ---------------
 
     def attach_snapshot(self, snapshot: "Snapshot") -> None:
         """Register a snapshot for copy-on-write preservation."""
         self._snapshots.append(snapshot)
+        # the new snapshot holds no pre-images yet
+        self._cow_saved.clear()
 
     def detach_snapshot(self, snapshot: "Snapshot") -> None:
         """Unregister a deleted snapshot."""

@@ -14,8 +14,7 @@ These are the concrete instruments the
 
 The module is deliberately standalone: it imports nothing from the rest
 of the library, so every layer (simulation kernel included) can depend
-on it without cycles.  The legacy ``repro.storage.metrics`` module
-re-exports these classes as thin shims for backward compatibility.
+on it without cycles.
 """
 
 from __future__ import annotations

@@ -154,29 +154,19 @@ class TestHistogram:
             Histogram("a", growth=1.04).merge(Histogram("b", growth=1.1))
 
 
-class TestStorageShim:
-    def test_legacy_imports_are_the_telemetry_types(self):
-        import warnings
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            from repro.storage.metrics import (Counter as LegacyCounter,
-                                               GaugeSeries, LatencyRecorder
-                                               as LegacyRecorder)
-        assert LegacyCounter is Counter
-        assert GaugeSeries is Gauge
-        assert LegacyRecorder is LatencyRecorder
+class TestStorageImports:
+    def test_shim_module_is_gone(self):
+        """The deprecated repro.storage.metrics shim was removed; the
+        canonical home of the measurement types is repro.telemetry."""
+        with pytest.raises(ModuleNotFoundError):
+            import repro.storage.metrics  # noqa: F401
 
-    def test_shim_warns_on_import(self):
-        import importlib
-        import sys
-        sys.modules.pop("repro.storage.metrics", None)
-        with pytest.warns(DeprecationWarning,
-                          match="repro.storage.metrics is deprecated"):
-            importlib.import_module("repro.storage.metrics")
+    def test_legacy_gauge_alias_is_the_telemetry_type(self):
+        from repro.storage import GaugeSeries
+        assert GaugeSeries is Gauge
 
     def test_package_import_does_not_warn(self):
-        """Importing repro.storage itself must stay warning-free — the
-        package no longer routes through the deprecated shim."""
+        """Importing repro.storage itself must stay warning-free."""
         import subprocess
         import sys
         code = ("import warnings; warnings.simplefilter('error', "
